@@ -1,0 +1,156 @@
+// Command dqbffuzz cross-checks every solver in this repository on random
+// DQBF instances: HQS under several option sets, the iDQ-style
+// instantiation solver (including its Skolem certificates), full expansion,
+// the incomplete refuter, and — within reach — the brute-force
+// Skolem-table enumeration. Any disagreement is printed as a DQDIMACS
+// reproduction and the process exits nonzero.
+//
+// Usage:
+//
+//	dqbffuzz [-n 1000] [-seed 1] [-maxuniv 4] [-maxexist 4] [-maxclauses 14]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/dqbf"
+	"repro/internal/expand"
+	"repro/internal/idq"
+	"repro/internal/refute"
+)
+
+func main() {
+	var (
+		n          = flag.Int("n", 1000, "number of random instances")
+		seed       = flag.Int64("seed", 1, "generator seed")
+		maxUniv    = flag.Int("maxuniv", 4, "maximum universal variables")
+		maxExist   = flag.Int("maxexist", 4, "maximum existential variables")
+		maxClauses = flag.Int("maxclauses", 14, "maximum clauses")
+		verbose    = flag.Bool("v", false, "print every instance verdict")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
+
+	hqsVariants := map[string]core.Options{
+		"hqs":          core.DefaultOptions(),
+		"hqs-plain":    {Strategy: core.ElimMaxSAT},
+		"hqs-greedy":   greedy(),
+		"hqs-elim-all": elimAll(),
+	}
+
+	bad := 0
+	for i := 0; i < *n; i++ {
+		f := randomDQBF(rng, 1+rng.Intn(*maxUniv), 1+rng.Intn(*maxExist), 1+rng.Intn(*maxClauses))
+		verdicts := map[string]bool{}
+
+		for name, opt := range hqsVariants {
+			res := core.New(opt).Solve(f)
+			if res.Status != core.Solved {
+				fail(f, fmt.Sprintf("%s did not finish: %v", name, res.Status))
+				bad++
+				continue
+			}
+			verdicts[name] = res.Sat
+		}
+		ires := idq.New(idq.Options{}).Solve(f)
+		verdicts["idq"] = ires.Sat
+		if ires.Sat && ires.Certificate != nil {
+			if err := ires.Certificate.Verify(f); err != nil {
+				fail(f, fmt.Sprintf("idq certificate invalid: %v", err))
+				bad++
+			}
+		}
+		eres, err := expand.New(expand.Options{}).Solve(f)
+		if err != nil {
+			fail(f, fmt.Sprintf("expand error: %v", err))
+			bad++
+			continue
+		}
+		verdicts["expand"] = eres.Sat
+
+		if want, err := dqbf.BruteForce(f); err == nil {
+			verdicts["brute"] = want
+		}
+
+		// Refuter is incomplete but must never contradict.
+		r := refute.Refute(f, refute.Options{})
+		if r.Verdict == refute.Refuted && verdicts["expand"] {
+			fail(f, "refuter refuted a satisfiable instance")
+			bad++
+		}
+		if r.Verdict == refute.Satisfied && !verdicts["expand"] {
+			fail(f, "refuter satisfied an unsatisfiable instance")
+			bad++
+		}
+
+		ref := verdicts["expand"]
+		for name, v := range verdicts {
+			if v != ref {
+				fail(f, fmt.Sprintf("disagreement: %s=%v expand=%v (all: %v)", name, v, ref, verdicts))
+				bad++
+				break
+			}
+		}
+		if *verbose {
+			fmt.Printf("instance %4d: sat=%v univ=%d exist=%d clauses=%d\n",
+				i, ref, len(f.Univ), len(f.Exist), len(f.Matrix.Clauses))
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "dqbffuzz: %d failures in %d instances\n", bad, *n)
+		os.Exit(1)
+	}
+	fmt.Printf("dqbffuzz: %d instances, all solvers agree\n", *n)
+}
+
+func greedy() core.Options {
+	o := core.DefaultOptions()
+	o.Strategy = core.ElimGreedy
+	return o
+}
+
+func elimAll() core.Options {
+	o := core.DefaultOptions()
+	o.Strategy = core.ElimAll
+	return o
+}
+
+func randomDQBF(rng *rand.Rand, nUniv, nExist, nClauses int) *dqbf.Formula {
+	f := dqbf.New()
+	for i := 1; i <= nUniv; i++ {
+		f.AddUniversal(cnf.Var(i))
+	}
+	for i := 0; i < nExist; i++ {
+		y := cnf.Var(nUniv + i + 1)
+		var deps []cnf.Var
+		for _, x := range f.Univ {
+			if rng.Intn(2) == 0 {
+				deps = append(deps, x)
+			}
+		}
+		f.AddExistential(y, deps...)
+	}
+	nv := nUniv + nExist
+	for i := 0; i < nClauses; i++ {
+		k := 1 + rng.Intn(3)
+		c := make(cnf.Clause, 0, k)
+		for j := 0; j < k; j++ {
+			c = append(c, cnf.NewLit(cnf.Var(1+rng.Intn(nv)), rng.Intn(2) == 0))
+		}
+		f.Matrix.Clauses = append(f.Matrix.Clauses, c)
+	}
+	return f
+}
+
+func fail(f *dqbf.Formula, msg string) {
+	fmt.Fprintln(os.Stderr, "FAILURE:", msg)
+	fmt.Fprintln(os.Stderr, "instance:")
+	if err := f.WriteDQDIMACS(os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "  (write error:", err, ")")
+	}
+}

@@ -1,0 +1,90 @@
+// Command dqbfinfo analyzes a DQDIMACS formula without solving it: prefix
+// shape, dependency-graph cycles (Definition 4 / Theorem 4), QBF
+// expressibility (Theorem 3), the minimum universal elimination set
+// (Equations 1–2), and — for already-linear prefixes — the equivalent QBF
+// block structure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dqbf"
+)
+
+func main() {
+	elim := flag.Bool("elimset", true, "compute the MaxSAT-minimal elimination set")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	f, err := dqbf.ParseDQDIMACS(in)
+	if err != nil {
+		fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("variables        %d (%d universal, %d existential)\n",
+		f.Matrix.NumVars, len(f.Univ), len(f.Exist))
+	fmt.Printf("clauses          %d\n", len(f.Matrix.Clauses))
+
+	// Dependency-set profile.
+	full := f.UniversalSet()
+	distinct := map[string]int{}
+	fullDeps := 0
+	for _, y := range f.Exist {
+		d := f.Deps[y]
+		distinct[d.String()]++
+		if d.Equal(full) {
+			fullDeps++
+		}
+	}
+	fmt.Printf("dependency sets  %d distinct, %d existentials with full dependencies\n",
+		len(distinct), fullDeps)
+
+	cycles := dqbf.BinaryCycles(f)
+	fmt.Printf("binary cycles    %d\n", len(cycles))
+	if dqbf.HasQBFPrefix(f) {
+		fmt.Println("prefix           linear — an equivalent QBF prefix exists (Theorem 3):")
+		for i, b := range dqbf.Linearize(f) {
+			fmt.Printf("  block %d: ∀%v ∃%v\n", i+1, b.Univ, b.Exist)
+		}
+		return
+	}
+	fmt.Println("prefix           non-linear — no equivalent QBF prefix (Theorem 3)")
+	if *elim {
+		set, err := core.SelectEliminationSet(f, core.ElimMaxSAT)
+		if err != nil {
+			fatal(err)
+		}
+		ordered := core.OrderByCopyCost(f, set)
+		fmt.Printf("elimination set  %d universal variables (MaxSAT minimum): %v\n",
+			len(ordered), ordered)
+		copies := 0
+		for _, x := range ordered {
+			for _, y := range f.Exist {
+				if f.Deps[y].Has(x) {
+					copies++
+				}
+			}
+		}
+		fmt.Printf("                 worst-case existential copies: %d\n", copies)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dqbfinfo:", err)
+	os.Exit(1)
+}

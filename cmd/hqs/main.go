@@ -1,0 +1,107 @@
+// Command hqs is the HQS DQBF solver: it reads a formula in DQDIMACS (or
+// QDIMACS) format and decides it by quantifier elimination, printing SAT or
+// UNSAT and exiting with the conventional solver exit codes (10 for SAT, 20
+// for UNSAT, 1 for errors, 2 for resource-outs).
+//
+// Usage:
+//
+//	hqs [flags] [file.dqdimacs]
+//
+// With no file argument the formula is read from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dqbf"
+)
+
+func main() {
+	var (
+		timeout    = flag.Duration("timeout", 0, "wall-clock limit (0 = none)")
+		nodeLimit  = flag.Int("node-limit", 0, "AIG node limit (0 = none)")
+		strategy   = flag.String("strategy", "maxsat", "universal elimination set: maxsat | greedy | all")
+		noPre      = flag.Bool("no-preprocess", false, "disable CNF preprocessing")
+		noGates    = flag.Bool("no-gates", false, "disable Tseitin gate detection")
+		noUnitPure = flag.Bool("no-unitpure", false, "disable unit/pure elimination on AIGs")
+		noSweep    = flag.Bool("no-sweep", false, "disable SAT sweeping")
+		stats      = flag.Bool("stats", false, "print solver statistics to stderr")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hqs:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	formula, err := dqbf.ParseDQDIMACS(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hqs:", err)
+		os.Exit(1)
+	}
+	if err := formula.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "hqs:", err)
+		os.Exit(1)
+	}
+
+	opt := core.DefaultOptions()
+	opt.Timeout = *timeout
+	opt.NodeLimit = *nodeLimit
+	opt.Preprocess = !*noPre
+	opt.DetectGates = !*noGates && !*noPre
+	opt.UnitPure = !*noUnitPure
+	if *noSweep {
+		opt.SweepThreshold = 0
+		opt.QBF.SweepThreshold = 0
+	}
+	switch *strategy {
+	case "maxsat":
+		opt.Strategy = core.ElimMaxSAT
+	case "greedy":
+		opt.Strategy = core.ElimGreedy
+	case "all":
+		opt.Strategy = core.ElimAll
+	default:
+		fmt.Fprintf(os.Stderr, "hqs: unknown strategy %q\n", *strategy)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	res := core.New(opt).Solve(formula)
+	elapsed := time.Since(start)
+
+	if *stats {
+		st := res.Stats
+		fmt.Fprintf(os.Stderr, "c time            %v\n", elapsed)
+		fmt.Fprintf(os.Stderr, "c decided by      %s\n", st.DecidedBy)
+		fmt.Fprintf(os.Stderr, "c elim set        %v (maxsat %v)\n", st.ElimSet, st.ElimSetTime)
+		fmt.Fprintf(os.Stderr, "c thm1/thm2 elims %d/%d (%d copies)\n", st.UnivElims, st.ExistElims, st.CopiesMade)
+		fmt.Fprintf(os.Stderr, "c unit/pure       %d/%d in %v\n", st.UnitElims, st.PureElims, st.UnitPureTime)
+		fmt.Fprintf(os.Stderr, "c sweeps          %d, peak AIG nodes %d\n", st.Sweeps, st.PeakAIGNodes)
+		fmt.Fprintf(os.Stderr, "c gates detected  %d\n", len(st.Preprocess.Gates))
+	}
+	switch res.Status {
+	case core.Solved:
+		if res.Sat {
+			fmt.Println("SAT")
+			os.Exit(10)
+		}
+		fmt.Println("UNSAT")
+		os.Exit(20)
+	case core.Timeout:
+		fmt.Println("TIMEOUT")
+	case core.Memout:
+		fmt.Println("MEMOUT")
+	}
+	os.Exit(2)
+}

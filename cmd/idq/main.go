@@ -1,0 +1,72 @@
+// Command idq is the instantiation-based DQBF baseline solver: it reads a
+// DQDIMACS (or QDIMACS) formula and decides it by counterexample-guided
+// expansion, printing SAT or UNSAT with the conventional solver exit codes
+// (10 for SAT, 20 for UNSAT, 1 for errors, 2 for resource-outs).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/dqbf"
+	"repro/internal/idq"
+)
+
+func main() {
+	var (
+		timeout = flag.Duration("timeout", 0, "wall-clock limit (0 = none)")
+		maxInst = flag.Int("max-instantiations", 0, "instantiated clause limit (0 = none)")
+		stats   = flag.Bool("stats", false, "print solver statistics to stderr")
+	)
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "idq:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	formula, err := dqbf.ParseDQDIMACS(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "idq:", err)
+		os.Exit(1)
+	}
+	if err := formula.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "idq:", err)
+		os.Exit(1)
+	}
+
+	start := time.Now()
+	res := idq.New(idq.Options{Timeout: *timeout, MaxInstantiations: *maxInst}).Solve(formula)
+	elapsed := time.Since(start)
+
+	if *stats {
+		st := res.Stats
+		fmt.Fprintf(os.Stderr, "c time           %v\n", elapsed)
+		fmt.Fprintf(os.Stderr, "c iterations     %d\n", st.Iterations)
+		fmt.Fprintf(os.Stderr, "c instantiations %d\n", st.Instantiations)
+		fmt.Fprintf(os.Stderr, "c sat calls      %d abstraction, %d verification\n", st.AbstractionSAT, st.VerifySAT)
+		fmt.Fprintf(os.Stderr, "c table entries  %d\n", st.TableEntries)
+	}
+	switch res.Status {
+	case idq.Solved:
+		if res.Sat {
+			fmt.Println("SAT")
+			os.Exit(10)
+		}
+		fmt.Println("UNSAT")
+		os.Exit(20)
+	case idq.Timeout:
+		fmt.Println("TIMEOUT")
+	case idq.Memout:
+		fmt.Println("MEMOUT")
+	}
+	os.Exit(2)
+}

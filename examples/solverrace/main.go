@@ -1,0 +1,48 @@
+// Solver race: generates a slice of the paper's benchmark families and runs
+// HQS against the iDQ baseline, printing a miniature version of Table I —
+// a quick way to see the elimination-based approach win by orders of
+// magnitude on instances with several black boxes.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	gen := bench.GenOptions{Count: 5, Seed: 1, MaxWidth: 4}
+	opt := bench.DefaultRunOptions()
+	opt.Timeout = 2 * time.Second
+
+	fmt.Printf("%-28s %6s %12s %12s %10s\n", "instance", "result", "HQS", "iDQ", "speedup")
+	for _, fam := range []bench.Family{bench.FamilyAdder, bench.FamilyBitcell, bench.FamilyPecXor} {
+		insts, err := bench.Generate(fam, gen)
+		if err != nil {
+			panic(err)
+		}
+		for _, inst := range insts {
+			h := bench.RunHQS(inst, opt)
+			q := bench.RunIDQ(inst, opt)
+			verdict := "?"
+			if h.Outcome == bench.OutcomeSolved {
+				if h.Sat {
+					verdict = "SAT"
+				} else {
+					verdict = "UNSAT"
+				}
+			}
+			idqCol := fmt.Sprintf("%.4fs", q.Seconds)
+			if q.Outcome != bench.OutcomeSolved {
+				idqCol = q.Outcome.String()
+			}
+			speedup := ""
+			if h.Seconds > 0 {
+				speedup = fmt.Sprintf("%8.0fx", q.Seconds/h.Seconds)
+			}
+			fmt.Printf("%-28s %6s %11.4fs %12s %10s\n",
+				inst.Name, verdict, h.Seconds, idqCol, speedup)
+		}
+	}
+}

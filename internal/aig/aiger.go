@@ -1,0 +1,228 @@
+package aig
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cnf"
+)
+
+// WriteAAG writes the cones of the given output references in the ASCII
+// AIGER format (aag). Input variables are emitted in ascending variable
+// order; a comment section records the mapping from AIGER inputs back to
+// the graph's variable numbers.
+func (g *Graph) WriteAAG(w io.Writer, outputs ...Ref) error {
+	cone := g.coneNodes(outputs...)
+	// Partition into inputs and ANDs; assign AIGER indices.
+	var inputs []int32
+	var ands []int32
+	for _, n := range cone {
+		if g.nodes[n].v != 0 {
+			inputs = append(inputs, n)
+		} else {
+			ands = append(ands, n)
+		}
+	}
+	sort.Slice(inputs, func(i, j int) bool {
+		return g.nodes[inputs[i]].v < g.nodes[inputs[j]].v
+	})
+	index := make(map[int32]int, len(cone)) // node -> AIGER variable index
+	next := 1
+	for _, n := range inputs {
+		index[n] = next
+		next++
+	}
+	for _, n := range ands { // already topological
+		index[n] = next
+		next++
+	}
+	lit := func(e Ref) int {
+		n := e.node()
+		if n == 0 {
+			// AIGER: literal 0 = false, 1 = true.
+			if e.Compl() {
+				return 1
+			}
+			return 0
+		}
+		l := 2 * index[n]
+		if e.Compl() {
+			l++
+		}
+		return l
+	}
+
+	bw := bufio.NewWriter(w)
+	maxVar := len(inputs) + len(ands)
+	fmt.Fprintf(bw, "aag %d %d 0 %d %d\n", maxVar, len(inputs), len(outputs), len(ands))
+	for _, n := range inputs {
+		fmt.Fprintf(bw, "%d\n", 2*index[n])
+	}
+	for _, o := range outputs {
+		fmt.Fprintf(bw, "%d\n", lit(o))
+	}
+	for _, n := range ands {
+		nd := &g.nodes[n]
+		fmt.Fprintf(bw, "%d %d %d\n", 2*index[n], lit(nd.f0), lit(nd.f1))
+	}
+	// Symbol table: map AIGER inputs to graph variables.
+	for i, n := range inputs {
+		fmt.Fprintf(bw, "i%d v%d\n", i, g.nodes[n].v)
+	}
+	fmt.Fprintln(bw, "c")
+	fmt.Fprintln(bw, "written by repro/internal/aig")
+	return bw.Flush()
+}
+
+// ReadAAG parses an ASCII AIGER (aag) file into the graph and returns the
+// output references. AIGER inputs are mapped to graph input variables using
+// the symbol table ("iN vM" entries) when present, or variables 1..I
+// otherwise. Latches are not supported (combinational AIGs only).
+func ReadAAG(r io.Reader) (*Graph, []Ref, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	if !sc.Scan() {
+		return nil, nil, fmt.Errorf("aiger: empty input")
+	}
+	header := strings.Fields(sc.Text())
+	if len(header) != 6 || header[0] != "aag" {
+		return nil, nil, fmt.Errorf("aiger: bad header %q", sc.Text())
+	}
+	nums := make([]int, 5)
+	for i := 0; i < 5; i++ {
+		v, err := strconv.Atoi(header[i+1])
+		if err != nil || v < 0 {
+			return nil, nil, fmt.Errorf("aiger: bad header field %q", header[i+1])
+		}
+		nums[i] = v
+	}
+	maxVar, nIn, nLatch, nOut, nAnd := nums[0], nums[1], nums[2], nums[3], nums[4]
+	if nLatch != 0 {
+		return nil, nil, fmt.Errorf("aiger: %d latches unsupported (combinational only)", nLatch)
+	}
+
+	readLine := func() (string, error) {
+		if !sc.Scan() {
+			return "", fmt.Errorf("aiger: unexpected end of file")
+		}
+		return strings.TrimSpace(sc.Text()), nil
+	}
+
+	inputLits := make([]int, nIn)
+	for i := range inputLits {
+		line, err := readLine()
+		if err != nil {
+			return nil, nil, err
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil || v%2 != 0 || v == 0 {
+			return nil, nil, fmt.Errorf("aiger: bad input literal %q", line)
+		}
+		inputLits[i] = v
+	}
+	outputLits := make([]int, nOut)
+	for i := range outputLits {
+		line, err := readLine()
+		if err != nil {
+			return nil, nil, err
+		}
+		v, err := strconv.Atoi(line)
+		if err != nil {
+			return nil, nil, fmt.Errorf("aiger: bad output literal %q", line)
+		}
+		outputLits[i] = v
+	}
+	type andDef struct{ lhs, r0, r1 int }
+	ands := make([]andDef, nAnd)
+	for i := range ands {
+		line, err := readLine()
+		if err != nil {
+			return nil, nil, err
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			return nil, nil, fmt.Errorf("aiger: bad AND line %q", line)
+		}
+		var d andDef
+		for j, dst := range []*int{&d.lhs, &d.r0, &d.r1} {
+			v, err := strconv.Atoi(fields[j])
+			if err != nil {
+				return nil, nil, fmt.Errorf("aiger: bad AND literal %q", fields[j])
+			}
+			*dst = v
+		}
+		if d.lhs%2 != 0 || d.lhs == 0 {
+			return nil, nil, fmt.Errorf("aiger: AND lhs %d not a positive even literal", d.lhs)
+		}
+		ands[i] = d
+	}
+	// Symbol table (optional): "iN vM" maps input N to variable M.
+	inputVar := make([]cnf.Var, nIn)
+	for i := range inputVar {
+		inputVar[i] = cnf.Var(i + 1)
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "c" {
+			break
+		}
+		if !strings.HasPrefix(line, "i") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 || !strings.HasPrefix(fields[1], "v") {
+			continue
+		}
+		idx, err1 := strconv.Atoi(fields[0][1:])
+		v, err2 := strconv.Atoi(fields[1][1:])
+		if err1 == nil && err2 == nil && idx >= 0 && idx < nIn && v > 0 {
+			inputVar[idx] = cnf.Var(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	g := New()
+	refOfVar := make([]Ref, maxVar+1) // AIGER variable index -> Ref
+	for i, l := range inputLits {
+		refOfVar[l/2] = g.Input(inputVar[i])
+	}
+	resolve := func(l int) (Ref, error) {
+		if l/2 > maxVar {
+			return 0, fmt.Errorf("aiger: literal %d exceeds maxvar %d", l, maxVar)
+		}
+		if l < 2 {
+			return Ref(l), nil // constants
+		}
+		r := refOfVar[l/2]
+		if r == 0 {
+			return 0, fmt.Errorf("aiger: literal %d used before definition", l)
+		}
+		return r.XorSign(l%2 == 1), nil
+	}
+	for _, d := range ands {
+		r0, err := resolve(d.r0)
+		if err != nil {
+			return nil, nil, err
+		}
+		r1, err := resolve(d.r1)
+		if err != nil {
+			return nil, nil, err
+		}
+		refOfVar[d.lhs/2] = g.And(r0, r1)
+	}
+	outs := make([]Ref, nOut)
+	for i, l := range outputLits {
+		r, err := resolve(l)
+		if err != nil {
+			return nil, nil, err
+		}
+		outs[i] = r
+	}
+	return g, outs, nil
+}

@@ -1,0 +1,71 @@
+package aig
+
+import "repro/internal/cnf"
+
+// Compose substitutes functions for input variables: every input node whose
+// variable appears in subst is replaced by the given reference. The result is
+// rebuilt bottom-up with full structural hashing, so simplifications cascade.
+func (g *Graph) Compose(r Ref, subst map[cnf.Var]Ref) Ref {
+	if len(subst) == 0 {
+		return r
+	}
+	memo := make(map[int32]Ref)
+	return g.compose(r, subst, memo)
+}
+
+func (g *Graph) compose(r Ref, subst map[cnf.Var]Ref, memo map[int32]Ref) Ref {
+	n := r.node()
+	if n == 0 {
+		return r
+	}
+	if out, ok := memo[n]; ok {
+		return out.XorSign(r.Compl())
+	}
+	nd := g.nodes[n] // copy: g.nodes may be appended to during recursion
+	var out Ref
+	if nd.v != 0 {
+		if s, ok := subst[nd.v]; ok {
+			out = s
+		} else {
+			out = Ref(n << 1)
+		}
+	} else {
+		f0 := g.compose(nd.f0, subst, memo)
+		f1 := g.compose(nd.f1, subst, memo)
+		out = g.And(f0, f1)
+	}
+	memo[n] = out
+	return out.XorSign(r.Compl())
+}
+
+// Cofactor returns r with variable v fixed to val.
+func (g *Graph) Cofactor(r Ref, v cnf.Var, val bool) Ref {
+	c := False
+	if val {
+		c = True
+	}
+	return g.Compose(r, map[cnf.Var]Ref{v: c})
+}
+
+// Exists existentially quantifies v: ∃v.r = r[0/v] ∨ r[1/v].
+func (g *Graph) Exists(r Ref, v cnf.Var) Ref {
+	return g.Or(g.Cofactor(r, v, false), g.Cofactor(r, v, true))
+}
+
+// Forall universally quantifies v: ∀v.r = r[0/v] ∧ r[1/v].
+func (g *Graph) Forall(r Ref, v cnf.Var) Ref {
+	return g.And(g.Cofactor(r, v, false), g.Cofactor(r, v, true))
+}
+
+// Rename replaces input variables by other input variables according to the
+// map (a special case of Compose).
+func (g *Graph) Rename(r Ref, ren map[cnf.Var]cnf.Var) Ref {
+	if len(ren) == 0 {
+		return r
+	}
+	subst := make(map[cnf.Var]Ref, len(ren))
+	for from, to := range ren {
+		subst[from] = g.Input(to)
+	}
+	return g.Compose(r, subst)
+}

@@ -1,0 +1,241 @@
+package aig
+
+import (
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// rng is a small xorshift generator for simulation patterns; deterministic
+// so that solver runs are reproducible.
+type rng uint64
+
+func (r *rng) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = rng(x)
+	return x
+}
+
+// Simulate runs 64-way parallel simulation of the cone of r: each input
+// variable is driven by the given 64-bit pattern (missing inputs get zero).
+// It returns the 64 output values as a word.
+func (g *Graph) Simulate(r Ref, patterns map[cnf.Var]uint64) uint64 {
+	cone := g.coneNodes(r)
+	for _, n := range cone {
+		nd := &g.nodes[n]
+		if nd.v != 0 {
+			nd.sim = patterns[nd.v]
+			continue
+		}
+		a := g.edgeSim(nd.f0)
+		b := g.edgeSim(nd.f1)
+		nd.sim = a & b
+	}
+	return g.edgeSim(r)
+}
+
+func (g *Graph) edgeSim(e Ref) uint64 {
+	n := e.node()
+	var w uint64
+	if n != 0 {
+		w = g.nodes[n].sim
+	}
+	if e.Compl() {
+		return ^w
+	}
+	return w
+}
+
+// SweepStats reports what a sweep did.
+type SweepStats struct {
+	Candidates int // simulation-equivalent pairs tried
+	Merged     int // pairs proven equivalent and merged
+	SatCalls   int
+}
+
+// SweepOptions configures SAT sweeping.
+type SweepOptions struct {
+	// Rounds of 64-bit random simulation words used for signatures.
+	SimWords int
+	// ConflictBudget per SAT equivalence query; on budget exhaustion the
+	// pair is conservatively treated as inequivalent. <=0 means unlimited.
+	ConflictBudget int64
+	// Deadline, when nonzero, aborts the candidate loop once passed; merges
+	// proven so far are still applied (the result stays equivalent).
+	Deadline time.Time
+}
+
+// DefaultSweepOptions are a reasonable tradeoff for the solver loops.
+func DefaultSweepOptions() SweepOptions {
+	return SweepOptions{SimWords: 8, ConflictBudget: 2000}
+}
+
+// Sweep performs FRAIG-style reduction on the cone of r: nodes with equal
+// (or complementary) simulation signatures are checked for functional
+// equivalence with SAT and merged, then the cone is rebuilt. The result is
+// functionally equivalent to r. Counterexamples from failed equivalence
+// checks refine the signatures, as in classic FRAIG construction.
+func (g *Graph) Sweep(r Ref, opt SweepOptions) (Ref, SweepStats) {
+	var stats SweepStats
+	if r.IsConst() {
+		return r, stats
+	}
+	cone := g.coneNodes(r)
+	if len(cone) < 2 {
+		return r, stats
+	}
+	support := g.Support(r)
+	vars := make([]cnf.Var, 0, len(support))
+	for v := range support {
+		vars = append(vars, v)
+	}
+
+	if opt.SimWords <= 0 {
+		opt.SimWords = 8
+	}
+	// signatures[n] holds opt.SimWords simulation words per node.
+	sigs := make(map[int32][]uint64, len(cone))
+	for _, n := range cone {
+		sigs[n] = make([]uint64, 0, opt.SimWords)
+	}
+	seed := rng(0x2545f4914f6cdd1d)
+	patterns := make(map[cnf.Var]uint64, len(vars))
+	simulateRound := func(pat map[cnf.Var]uint64) {
+		g.Simulate(r, pat)
+		for _, n := range cone {
+			sigs[n] = append(sigs[n], g.nodes[n].sim)
+		}
+	}
+	for w := 0; w < opt.SimWords; w++ {
+		for _, v := range vars {
+			patterns[v] = seed.next()
+		}
+		simulateRound(patterns)
+	}
+
+	// One shared SAT instance: encode the whole cone once, query pairs under
+	// a miter built per query.
+	solver := sat.New()
+	builder := NewCNFBuilder(g, solver)
+	builder.Lit(r) // encode the cone
+
+	// repl maps node -> replacement edge (possibly complemented).
+	repl := make(map[int32]Ref)
+	resolve := func(e Ref) Ref {
+		for {
+			t, ok := repl[e.node()]
+			if !ok {
+				return e
+			}
+			e = t.XorSign(e.Compl())
+		}
+	}
+
+	// Group nodes by normalized signature: if word 0 has bit 0 set, use the
+	// complemented signature (tracking the phase) so that complementary
+	// functions land in the same bucket.
+	type bucketKey string
+	normSig := func(n int32) (bucketKey, bool) {
+		s := sigs[n]
+		inv := s[0]&1 == 1
+		buf := make([]byte, 0, len(s)*8)
+		for _, w := range s {
+			if inv {
+				w = ^w
+			}
+			for i := 0; i < 8; i++ {
+				buf = append(buf, byte(w>>(8*i)))
+			}
+		}
+		return bucketKey(buf), inv
+	}
+
+	checkEq := func(a, b Ref) bool {
+		stats.SatCalls++
+		la := builder.Lit(a)
+		lb := builder.Lit(b)
+		solver.ConflictBudget = opt.ConflictBudget
+		// a≠b ⇔ (a ∧ ¬b) ∨ (¬a ∧ b): query both branches via assumptions.
+		st1, err := solver.SolveErr([]cnf.Lit{la, lb.Not()})
+		if err != nil || st1 == sat.Sat {
+			return false
+		}
+		st2, err := solver.SolveErr([]cnf.Lit{la.Not(), lb})
+		if err != nil || st2 == sat.Sat {
+			return false
+		}
+		return true
+	}
+
+	buckets := make(map[bucketKey][]int32)
+	for _, n := range cone {
+		key, _ := normSig(n)
+		buckets[key] = append(buckets[key], n)
+	}
+	expired := func() bool {
+		return !opt.Deadline.IsZero() && time.Now().After(opt.Deadline)
+	}
+	queries := 0
+	for _, members := range buckets {
+		if len(members) < 2 {
+			continue
+		}
+		// Try to merge each member into the earliest (topologically smallest)
+		// representative of its class.
+		for i := 1; i < len(members); i++ {
+			queries++
+			if queries%16 == 0 && expired() {
+				goto rebuildPhase
+			}
+			repNode, n := members[0], members[i]
+			if _, already := repl[n]; already {
+				continue
+			}
+			stats.Candidates++
+			_, invRep := normSig(repNode)
+			_, invN := normSig(n)
+			repRef := resolve(Ref(repNode << 1).XorSign(invRep))
+			nRef := Ref(n << 1).XorSign(invN)
+			if checkEq(repRef, nRef) {
+				// n (with phase invN) equals repRef; store n -> phase-fixed edge.
+				repl[n] = repRef.XorSign(invN)
+				stats.Merged++
+			}
+		}
+	}
+rebuildPhase:
+	if len(repl) == 0 {
+		return r, stats
+	}
+
+	// Rebuild the cone applying replacements bottom-up.
+	rebuilt := make(map[int32]Ref, len(cone))
+	var rebuild func(e Ref) Ref
+	rebuild = func(e Ref) Ref {
+		n := e.node()
+		if n == 0 {
+			return e
+		}
+		if t, ok := repl[n]; ok {
+			// The replacement target itself may contain replaced nodes.
+			return rebuild(t).XorSign(e.Compl())
+		}
+		if out, ok := rebuilt[n]; ok {
+			return out.XorSign(e.Compl())
+		}
+		nd := g.nodes[n]
+		var out Ref
+		if nd.v != 0 {
+			out = Ref(n << 1)
+		} else {
+			out = g.And(rebuild(nd.f0), rebuild(nd.f1))
+		}
+		rebuilt[n] = out
+		return out.XorSign(e.Compl())
+	}
+	return rebuild(r), stats
+}

@@ -1,0 +1,143 @@
+package aig
+
+import (
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// CNFBuilder incrementally Tseitin-encodes AIG cones into a SAT solver,
+// reusing encodings across calls. It is the bridge between the AIG world and
+// the CDCL oracle (SAT sweeping, final SAT checks, iDQ verification).
+type CNFBuilder struct {
+	g       *Graph
+	s       *sat.Solver
+	nodeVar map[int32]cnf.Var // AIG node -> SAT variable
+}
+
+// NewCNFBuilder returns a builder encoding cones of g into s.
+func NewCNFBuilder(g *Graph, s *sat.Solver) *CNFBuilder {
+	return &CNFBuilder{g: g, s: s, nodeVar: make(map[int32]cnf.Var)}
+}
+
+// InputSATVar returns the SAT variable used for AIG input variable v,
+// allocating the encoding lazily. It allows callers to constrain inputs.
+func (b *CNFBuilder) InputSATVar(v cnf.Var) cnf.Var {
+	r := b.g.Input(v)
+	return b.nodeSATVar(r.node())
+}
+
+func (b *CNFBuilder) nodeSATVar(n int32) cnf.Var {
+	if sv, ok := b.nodeVar[n]; ok {
+		return sv
+	}
+	sv := b.s.NewVar()
+	b.nodeVar[n] = sv
+	return sv
+}
+
+// Lit encodes the cone of r (if not yet encoded) and returns the SAT literal
+// equivalent to r.
+func (b *CNFBuilder) Lit(r Ref) cnf.Lit {
+	if r.node() == 0 {
+		return b.edgeLit(r)
+	}
+	for _, n := range b.g.coneNodes(r) {
+		if _, done := b.nodeVar[n]; done {
+			continue
+		}
+		nd := &b.g.nodes[n]
+		sv := b.nodeSATVar(n)
+		if nd.v != 0 {
+			continue // inputs are free variables
+		}
+		gl := cnf.PosLit(sv)
+		a := b.edgeLit(nd.f0)
+		c := b.edgeLit(nd.f1)
+		// g ↔ a ∧ c
+		b.s.AddClause(gl.Not(), a)
+		b.s.AddClause(gl.Not(), c)
+		b.s.AddClause(gl, a.Not(), c.Not())
+	}
+	return b.edgeLit(r)
+}
+
+func (b *CNFBuilder) edgeLit(e Ref) cnf.Lit {
+	n := e.node()
+	if n == 0 {
+		tv := b.nodeSATVar(0)
+		b.s.AddClause(cnf.PosLit(tv))
+		// Ref 0 = false, Ref 1 = true.
+		return cnf.NewLit(tv, !e.Compl())
+	}
+	return cnf.NewLit(b.nodeVar[n], false).XorSign(e.Compl())
+}
+
+// ToFormula Tseitin-encodes the cone of r into a standalone CNF formula.
+// Input variables keep their AIG variable numbers; internal gate variables
+// are allocated above maxInputVar (which is raised to the largest support
+// variable if needed). It returns the formula and the literal equivalent
+// to r; asserting that literal makes the formula equisatisfiable with r.
+func (g *Graph) ToFormula(r Ref, maxInputVar cnf.Var) (*cnf.Formula, cnf.Lit) {
+	for v := range g.Support(r) {
+		if v > maxInputVar {
+			maxInputVar = v
+		}
+	}
+	f := cnf.NewFormula(int(maxInputVar))
+	if r.IsConst() {
+		// Represent with a fresh variable forced appropriately.
+		t := f.NewVar()
+		f.AddClause(cnf.PosLit(t))
+		return f, cnf.NewLit(t, !r.Compl())
+	}
+	nodeLit := make(map[int32]cnf.Lit)
+	for _, n := range g.coneNodes(r) {
+		nd := &g.nodes[n]
+		if nd.v != 0 {
+			nodeLit[n] = cnf.PosLit(nd.v)
+			continue
+		}
+		gv := f.NewVar()
+		gl := cnf.PosLit(gv)
+		a := nodeLit[nd.f0.node()].XorSign(nd.f0.Compl())
+		c := nodeLit[nd.f1.node()].XorSign(nd.f1.Compl())
+		f.AddClause(gl.Not(), a)
+		f.AddClause(gl.Not(), c)
+		f.AddClause(gl, a.Not(), c.Not())
+		nodeLit[n] = gl
+	}
+	return f, nodeLit[r.node()].XorSign(r.Compl())
+}
+
+// IsSatisfiable checks satisfiability of the function rooted at r with the
+// CDCL solver. If sat, it also returns a satisfying input assignment.
+func (g *Graph) IsSatisfiable(r Ref) (bool, map[cnf.Var]bool) {
+	if r == True {
+		return true, map[cnf.Var]bool{}
+	}
+	if r == False {
+		return false, nil
+	}
+	s := sat.New()
+	b := NewCNFBuilder(g, s)
+	l := b.Lit(r)
+	s.AddClause(l)
+	if s.Solve() != sat.Sat {
+		return false, nil
+	}
+	m := s.Model()
+	out := make(map[cnf.Var]bool)
+	for v := range g.Support(r) {
+		sv := b.nodeVar[g.Input(v).node()]
+		out[v] = m.Get(sv)
+	}
+	return true, out
+}
+
+// Equivalent checks whether the functions rooted at a and b are equivalent,
+// using SAT on the XOR miter.
+func (g *Graph) Equivalent(a, b Ref) bool {
+	miter := g.Xor(a, b)
+	sat, _ := g.IsSatisfiable(miter)
+	return !sat
+}

@@ -1,0 +1,111 @@
+package aig
+
+import "repro/internal/cnf"
+
+// Polarity classifies a variable according to the syntactic unit/pure check
+// of the paper's Theorem 6.
+type Polarity struct {
+	PosUnit bool // a negation-free path from the input to the output exists
+	NegUnit bool // a path whose only negation is directly at the input exists
+	PosPure bool // every path has an even number of negations
+	NegPure bool // every path has an odd number of negations
+}
+
+// UnitPure runs the linear-time path-parity traversal of Theorem 6 on the
+// cone of r and returns, for every input variable in the support, its
+// syntactic classification.
+//
+// The flags per node are "reachable from the output along a path with an even
+// (odd) number of complemented edges" and "reachable along a path with no
+// complemented edge at all"; the complement bit of r itself counts as an edge
+// negation. The traversal is O(|cone| + |V|), matching the paper.
+func (g *Graph) UnitPure(r Ref) map[cnf.Var]Polarity {
+	out := make(map[cnf.Var]Polarity)
+	if r.IsConst() {
+		return out
+	}
+	cone := g.coneNodes(r)
+	type flags struct {
+		even, odd, clean bool
+	}
+	fl := make(map[int32]*flags, len(cone))
+	for _, n := range cone {
+		fl[n] = &flags{}
+	}
+	root := fl[r.node()]
+	if r.Compl() {
+		root.odd = true
+	} else {
+		root.even = true
+		root.clean = true
+	}
+	// Node indices are a topological order: parents have larger indices than
+	// children, so a single descending pass propagates all flags.
+	for i := len(cone) - 1; i >= 0; i-- {
+		n := cone[i]
+		nd := &g.nodes[n]
+		if nd.v != 0 {
+			continue
+		}
+		f := fl[n]
+		for _, e := range []Ref{nd.f0, nd.f1} {
+			cf := fl[e.node()]
+			if e.Compl() {
+				cf.even = cf.even || f.odd
+				cf.odd = cf.odd || f.even
+			} else {
+				cf.even = cf.even || f.even
+				cf.odd = cf.odd || f.odd
+				cf.clean = cf.clean || f.clean
+			}
+		}
+	}
+	for _, n := range cone {
+		nd := &g.nodes[n]
+		if nd.v == 0 {
+			continue
+		}
+		f := fl[n]
+		p := Polarity{
+			PosPure: !f.odd,
+			NegPure: !f.even,
+		}
+		// Unit flags: find a parent AND with a clean path whose edge to this
+		// input decides the polarity. The root itself being the input is the
+		// degenerate case.
+		if r.node() == n {
+			if !r.Compl() {
+				p.PosUnit = true
+			} else {
+				p.NegUnit = true
+			}
+		}
+		out[nd.v] = p
+	}
+	// Second pass for unit flags via parent edges.
+	for _, n := range cone {
+		nd := &g.nodes[n]
+		if nd.v != 0 {
+			continue
+		}
+		f := fl[n]
+		if !f.clean {
+			continue
+		}
+		for _, e := range []Ref{nd.f0, nd.f1} {
+			cn := e.node()
+			cv := g.nodes[cn].v
+			if cv == 0 {
+				continue
+			}
+			p := out[cv]
+			if e.Compl() {
+				p.NegUnit = true
+			} else {
+				p.PosUnit = true
+			}
+			out[cv] = p
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// AblationVariant is one HQS configuration under study.
+type AblationVariant struct {
+	Name string
+	Opt  core.Options
+}
+
+// AblationVariants returns the design-choice ablations DESIGN.md calls out:
+// the elimination-set strategy (paper MaxSAT vs greedy vs eliminate-all),
+// the copy-cost ordering, unit/pure detection, SAT sweeping, and CNF
+// preprocessing.
+func AblationVariants() []AblationVariant {
+	mk := func(name string, mut func(*core.Options)) AblationVariant {
+		o := core.DefaultOptions()
+		mut(&o)
+		return AblationVariant{Name: name, Opt: o}
+	}
+	return []AblationVariant{
+		mk("default(maxsat)", func(o *core.Options) {}),
+		mk("elimset=greedy", func(o *core.Options) { o.Strategy = core.ElimGreedy }),
+		mk("elimset=all", func(o *core.Options) { o.Strategy = core.ElimAll }),
+		mk("order=reverse", func(o *core.Options) { o.ReverseElimOrder = true }),
+		mk("unitpure=off", func(o *core.Options) { o.UnitPure = false; o.QBF.UnitPure = false }),
+		mk("sweep=off", func(o *core.Options) { o.SweepThreshold = 0; o.QBF.SweepThreshold = 0 }),
+		mk("preprocess=off", func(o *core.Options) { o.Preprocess = false; o.DetectGates = false }),
+	}
+}
+
+// AblationRow aggregates one variant over an instance set.
+type AblationRow struct {
+	Name         string
+	Solved       int
+	Timeouts     int
+	Memouts      int
+	TotalSeconds float64 // over solved instances
+	PeakNodesSum int
+}
+
+// RunAblation runs every variant over the instances sequentially (one
+// variant at a time, so timings are comparable).
+func RunAblation(instances []Instance, variants []AblationVariant, timeout time.Duration, nodeLimit int) []AblationRow {
+	var rows []AblationRow
+	for _, v := range variants {
+		row := AblationRow{Name: v.Name}
+		opt := v.Opt
+		opt.Timeout = timeout
+		opt.NodeLimit = nodeLimit
+		for _, inst := range instances {
+			start := time.Now()
+			res := core.New(opt).Solve(inst.Formula)
+			sec := time.Since(start).Seconds()
+			switch res.Status {
+			case core.Solved:
+				row.Solved++
+				row.TotalSeconds += sec
+			case core.Timeout:
+				row.Timeouts++
+			case core.Memout:
+				row.Memouts++
+			}
+			row.PeakNodesSum += res.Stats.PeakAIGNodes
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatAblation renders the ablation rows as a table.
+func FormatAblation(rows []AblationRow, nInstances int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %8s %4s %4s %12s %12s\n",
+		"variant", "solved", "TO", "MO", "time [s]", "peak nodes")
+	b.WriteString(strings.Repeat("-", 64) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-18s %5d/%-3d %4d %4d %12.2f %12d\n",
+			r.Name, r.Solved, nInstances, r.Timeouts, r.Memouts, r.TotalSeconds, r.PeakNodesSum)
+	}
+	return b.String()
+}

@@ -1,0 +1,97 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/pec"
+)
+
+// ScalingPoint is one width step of a scaling study: accumulated runtimes of
+// both solvers over the instances of that width.
+type ScalingPoint struct {
+	Width      int
+	Instances  int
+	HQSSolved  int
+	IDQSolved  int
+	HQSSeconds float64
+	IDQSeconds float64
+}
+
+// ScalingStudy measures how both solvers scale with the circuit width of a
+// family (the growth behaviour behind the TO columns of Table I): for each
+// width it generates perInstance instances (alternating realizable and
+// faulty) with two black boxes and runs both solvers. Unsolved runs count
+// the full timeout, as in the paper's reading of the scatter rails.
+func ScalingStudy(f Family, widths []int, perWidth int, opt RunOptions) ([]ScalingPoint, error) {
+	var out []ScalingPoint
+	for _, w := range widths {
+		pt := ScalingPoint{Width: w}
+		rng := rand.New(rand.NewSource(int64(9000 + w)))
+		for i := 0; i < perWidth; i++ {
+			spec, impl, cuttable, faultName := specImpl(f, w, i%2 == 1, rng)
+			var groups [][]int
+			for _, name := range cuttable {
+				if len(groups) == 2 {
+					break
+				}
+				if name == faultName {
+					continue
+				}
+				if id := impl.Signal(name); id >= 0 {
+					groups = append(groups, []int{id})
+				}
+			}
+			if len(groups) == 0 {
+				return nil, fmt.Errorf("bench: no cuttable gates for %s width %d", f, w)
+			}
+			cut, boxes, err := pec.CutBoxes(impl, groups)
+			if err != nil {
+				return nil, err
+			}
+			formula, err := (&pec.Problem{Spec: spec, Impl: cut, Boxes: boxes}).ToDQBF()
+			if err != nil {
+				return nil, err
+			}
+			inst := Instance{
+				Family:  f,
+				Name:    fmt.Sprintf("%s_scale_w%d_%d", f, w, i),
+				Formula: formula,
+			}
+			pt.Instances++
+			h := RunHQS(inst, opt)
+			q := RunIDQ(inst, opt)
+			if h.Outcome == OutcomeSolved {
+				pt.HQSSolved++
+				pt.HQSSeconds += h.Seconds
+			} else {
+				pt.HQSSeconds += opt.Timeout.Seconds()
+			}
+			if q.Outcome == OutcomeSolved {
+				pt.IDQSolved++
+				pt.IDQSeconds += q.Seconds
+			} else {
+				pt.IDQSeconds += opt.Timeout.Seconds()
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// FormatScaling renders a scaling study as a table.
+func FormatScaling(f Family, pts []ScalingPoint, timeout time.Duration) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scaling of %s (2 black boxes, timeout %v; unsolved counted at budget)\n", f, timeout)
+	fmt.Fprintf(&b, "%6s %6s %12s %12s %12s %12s\n",
+		"width", "#inst", "HQS solved", "HQS sec", "iDQ solved", "iDQ sec")
+	b.WriteString(strings.Repeat("-", 66) + "\n")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%6d %6d %8d/%-3d %12.3f %8d/%-3d %12.3f\n",
+			p.Width, p.Instances, p.HQSSolved, p.Instances, p.HQSSeconds,
+			p.IDQSolved, p.Instances, p.IDQSeconds)
+	}
+	return b.String()
+}

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// SolverRow is one solver's half of a Table I row.
+type SolverRow struct {
+	Solved    int
+	SatCount  int
+	UnsatCnt  int
+	Unsolved  int
+	Timeouts  int
+	Memouts   int
+	TotalTime float64 // accumulated seconds on instances solved by BOTH solvers
+}
+
+// FamilyRow is one row of Table I.
+type FamilyRow struct {
+	Family    Family
+	Instances int
+	HQS       SolverRow
+	IDQ       SolverRow
+}
+
+// TableI aggregates a campaign into the paper's Table I layout.
+func TableI(c *Campaign) []FamilyRow {
+	byFam := make(map[Family]*FamilyRow)
+	var order []Family
+	rowOf := func(f Family) *FamilyRow {
+		r, ok := byFam[f]
+		if !ok {
+			r = &FamilyRow{Family: f}
+			byFam[f] = r
+			order = append(order, f)
+		}
+		return r
+	}
+	for _, inst := range c.Order {
+		r := rowOf(inst.Family)
+		r.Instances++
+		h, q := c.HQS[inst.Name], c.IDQ[inst.Name]
+		both := h.Outcome == OutcomeSolved && q.Outcome == OutcomeSolved
+		acc := func(sr *SolverRow, rr RunResult) {
+			switch rr.Outcome {
+			case OutcomeSolved:
+				sr.Solved++
+				if rr.Sat {
+					sr.SatCount++
+				} else {
+					sr.UnsatCnt++
+				}
+				if both {
+					sr.TotalTime += rr.Seconds
+				}
+			case OutcomeTimeout:
+				sr.Unsolved++
+				sr.Timeouts++
+			case OutcomeMemout:
+				sr.Unsolved++
+				sr.Memouts++
+			}
+		}
+		acc(&r.HQS, h)
+		acc(&r.IDQ, q)
+	}
+	// Keep the paper's family order where applicable.
+	rank := map[Family]int{}
+	for i, f := range Families {
+		rank[f] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return rank[order[i]] < rank[order[j]] })
+	var out []FamilyRow
+	total := FamilyRow{Family: "total"}
+	for _, f := range order {
+		r := byFam[f]
+		out = append(out, *r)
+		total.Instances += r.Instances
+		addRow := func(dst *SolverRow, src SolverRow) {
+			dst.Solved += src.Solved
+			dst.SatCount += src.SatCount
+			dst.UnsatCnt += src.UnsatCnt
+			dst.Unsolved += src.Unsolved
+			dst.Timeouts += src.Timeouts
+			dst.Memouts += src.Memouts
+			dst.TotalTime += src.TotalTime
+		}
+		addRow(&total.HQS, r.HQS)
+		addRow(&total.IDQ, r.IDQ)
+	}
+	out = append(out, total)
+	return out
+}
+
+// FormatTableI renders the rows in the paper's layout.
+func FormatTableI(rows []FamilyRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %5s | %6s %-12s %8s %-8s %10s | %6s %-12s %8s %-8s %10s\n",
+		"Benchmark", "#inst",
+		"solved", "(SAT/UNSAT)", "unsolved", "(TO/MO)", "total time",
+		"solved", "(SAT/UNSAT)", "unsolved", "(TO/MO)", "total time")
+	fmt.Fprintf(&b, "%-10s %5s | %-49s | %-49s\n", "", "", "  HQS", "  iDQ")
+	b.WriteString(strings.Repeat("-", 122) + "\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %5d | %6d (%d/%d)%*s %8d (%d/%d)%*s %10.2f | %6d (%d/%d)%*s %8d (%d/%d)%*s %10.2f\n",
+			r.Family, r.Instances,
+			r.HQS.Solved, r.HQS.SatCount, r.HQS.UnsatCnt, 0, "",
+			r.HQS.Unsolved, r.HQS.Timeouts, r.HQS.Memouts, 0, "",
+			r.HQS.TotalTime,
+			r.IDQ.Solved, r.IDQ.SatCount, r.IDQ.UnsatCnt, 0, "",
+			r.IDQ.Unsolved, r.IDQ.Timeouts, r.IDQ.Memouts, 0, "",
+			r.IDQ.TotalTime)
+	}
+	return b.String()
+}
+
+// ScatterPoint is one Figure 4 marker: the runtimes of both solvers on one
+// instance, with TO/MO rails encoded in the outcome fields.
+type ScatterPoint struct {
+	Instance   string
+	Family     Family
+	HQSSeconds float64
+	IDQSeconds float64
+	HQSOutcome Outcome
+	IDQOutcome Outcome
+}
+
+// Figure4 extracts the scatter points of the runtime comparison plot.
+func Figure4(c *Campaign) []ScatterPoint {
+	var out []ScatterPoint
+	for _, inst := range c.Order {
+		h, q := c.HQS[inst.Name], c.IDQ[inst.Name]
+		out = append(out, ScatterPoint{
+			Instance:   inst.Name,
+			Family:     inst.Family,
+			HQSSeconds: h.Seconds,
+			IDQSeconds: q.Seconds,
+			HQSOutcome: h.Outcome,
+			IDQOutcome: q.Outcome,
+		})
+	}
+	return out
+}
+
+// FormatFigure4CSV renders the scatter as CSV (instance, family, HQS seconds,
+// iDQ seconds, HQS outcome, iDQ outcome). Plotting the two time columns on
+// log-log axes with TO/MO rails reproduces Fig. 4.
+func FormatFigure4CSV(points []ScatterPoint) string {
+	var b strings.Builder
+	b.WriteString("instance,family,hqs_seconds,idq_seconds,hqs_outcome,idq_outcome\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%s,%s,%.6f,%.6f,%s,%s\n",
+			p.Instance, p.Family, p.HQSSeconds, p.IDQSeconds, p.HQSOutcome, p.IDQOutcome)
+	}
+	return b.String()
+}
+
+// Stats are the paper's in-text measurements.
+type Stats struct {
+	// HQSSolvedUnder1s is the fraction of HQS-solved instances finished in
+	// under one second (the paper reports ≈ 90%).
+	HQSSolvedUnder1s float64
+	// MaxElimSetSeconds is the maximum MaxSAT selection time over all
+	// instances (the paper reports < 0.06 s).
+	MaxElimSetSeconds float64
+	// MaxUnitPureShare is the maximum fraction of an instance's runtime
+	// spent in syntactic unit/pure checks (the paper reports < 4%).
+	MaxUnitPureShare float64
+	// MaxUnitPureShareSlow is the same maximum restricted to instances that
+	// took at least 10 ms — the regime the paper's instances live in; on
+	// sub-millisecond instances a single traversal dominates the runtime and
+	// the share is not meaningful.
+	MaxUnitPureShareSlow float64
+	// SpeedupGeoMean is the geometric-mean iDQ/HQS runtime ratio over
+	// instances both solvers solved.
+	SpeedupGeoMean float64
+	// MaxSpeedup is the largest per-instance ratio (the paper reports up to
+	// four orders of magnitude, counting time-outs at the budget).
+	MaxSpeedup float64
+}
+
+// ComputeStats derives the in-text statistics from a campaign.
+func ComputeStats(c *Campaign) Stats {
+	var st Stats
+	solved, under1 := 0, 0
+	logSum, ratios := 0.0, 0
+	for _, inst := range c.Order {
+		h, q := c.HQS[inst.Name], c.IDQ[inst.Name]
+		if h.Outcome == OutcomeSolved {
+			solved++
+			if h.Seconds < 1.0 {
+				under1++
+			}
+		}
+		if h.ElimSetSeconds > st.MaxElimSetSeconds {
+			st.MaxElimSetSeconds = h.ElimSetSeconds
+		}
+		if h.Seconds > 0 {
+			share := h.UnitPureSeconds / h.Seconds
+			if share > st.MaxUnitPureShare {
+				st.MaxUnitPureShare = share
+			}
+			if h.Seconds >= 0.010 && share > st.MaxUnitPureShareSlow {
+				st.MaxUnitPureShareSlow = share
+			}
+		}
+		if h.Outcome == OutcomeSolved && h.Seconds > 0 {
+			// iDQ time: actual when solved, full budget when not (a lower
+			// bound, as in the paper's reading of the TO/MO rails).
+			qt := q.Seconds
+			ratio := qt / h.Seconds
+			if ratio > st.MaxSpeedup {
+				st.MaxSpeedup = ratio
+			}
+			if q.Outcome == OutcomeSolved {
+				logSum += math.Log(ratio)
+				ratios++
+			}
+		}
+	}
+	if solved > 0 {
+		st.HQSSolvedUnder1s = float64(under1) / float64(solved)
+	}
+	if ratios > 0 {
+		st.SpeedupGeoMean = math.Exp(logSum / float64(ratios))
+	}
+	return st
+}

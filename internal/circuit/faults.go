@@ -1,0 +1,133 @@
+package circuit
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// FaultKind enumerates the injectable gate-level faults used to produce
+// unrealizable PEC instances.
+type FaultKind int
+
+const (
+	// FaultGateSwap replaces the gate function by a different one of the
+	// same arity (AND↔OR, XOR↔XNOR, NAND↔NOR, NOT↔BUF).
+	FaultGateSwap FaultKind = iota
+	// FaultInputNegation inserts an inverter on one gate input.
+	FaultInputNegation
+)
+
+// swapped returns the fault partner of a gate type, or the type itself when
+// no partner exists.
+func swapped(t GateType) GateType {
+	switch t {
+	case AndGate:
+		return OrGate
+	case OrGate:
+		return AndGate
+	case NandGate:
+		return NorGate
+	case NorGate:
+		return NandGate
+	case XorGate:
+		return XnorGate
+	case XnorGate:
+		return XorGate
+	case NotGate:
+		return BufGate
+	case BufGate:
+		return NotGate
+	default:
+		return t
+	}
+}
+
+// InjectFault applies a fault to gate id and returns a modified copy. It
+// panics if the signal is not a functional gate.
+func (c *Circuit) InjectFault(id int, kind FaultKind, input int) *Circuit {
+	d := c.Clone()
+	g := &d.Gates[id]
+	switch g.Type {
+	case InputGate, FreeGate, Const0, Const1:
+		panic(fmt.Sprintf("circuit: cannot inject fault into %v %q", g.Type, g.Name))
+	}
+	switch kind {
+	case FaultGateSwap:
+		ns := swapped(g.Type)
+		if ns == g.Type {
+			panic(fmt.Sprintf("circuit: no swap partner for %v", g.Type))
+		}
+		g.Type = ns
+	case FaultInputNegation:
+		if input < 0 || input >= len(g.Ins) {
+			panic("circuit: fault input index out of range")
+		}
+		inv := d.AddGate(fmt.Sprintf("flt_%s_%d", g.Name, input), NotGate, g.Ins[input])
+		g = &d.Gates[id] // re-take: AddGate may have reallocated the slice
+		g.Ins[input] = inv
+		// The inverter was appended after its use site; restore the
+		// topological gate order Eval and the encoders rely on.
+		return d.retopo()
+	}
+	return d
+}
+
+// retopo rebuilds the circuit in topological order (needed after rewiring).
+func (c *Circuit) retopo() *Circuit {
+	d := New()
+	idMap := make([]int, len(c.Gates))
+	for i := range idMap {
+		idMap[i] = -1
+	}
+	var visit func(id int) int
+	visit = func(id int) int {
+		if idMap[id] >= 0 {
+			return idMap[id]
+		}
+		g := c.Gates[id]
+		switch g.Type {
+		case InputGate:
+			idMap[id] = d.AddInput(g.Name)
+		case FreeGate:
+			idMap[id] = d.AddFree(g.Name)
+		default:
+			ins := make([]int, len(g.Ins))
+			for i, in := range g.Ins {
+				ins[i] = visit(in)
+			}
+			idMap[id] = d.AddGate(g.Name, g.Type, ins...)
+		}
+		return idMap[id]
+	}
+	// Preserve input declaration order.
+	for _, id := range c.Inputs {
+		visit(id)
+	}
+	for id := range c.Gates {
+		visit(id)
+	}
+	for _, id := range c.Outputs {
+		d.MarkOutput(idMap[id])
+	}
+	return d
+}
+
+// RandomFault injects a random fault using rng, preferring gates whose type
+// has a swap partner. It returns the faulty circuit and the affected gate id.
+func (c *Circuit) RandomFault(rng *rand.Rand) (*Circuit, int) {
+	var candidates []int
+	for id, g := range c.Gates {
+		switch g.Type {
+		case InputGate, FreeGate, Const0, Const1:
+			continue
+		}
+		if swapped(c.Gates[id].Type) != c.Gates[id].Type {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) == 0 {
+		panic("circuit: no fault candidates")
+	}
+	id := candidates[rng.Intn(len(candidates))]
+	return c.InjectFault(id, FaultGateSwap, 0), id
+}

@@ -1,0 +1,340 @@
+package circuit
+
+import "fmt"
+
+// RippleCarryAdder builds an n-bit ripple-carry adder: inputs a0..a(n-1),
+// b0..b(n-1), cin; outputs s0..s(n-1), cout. Full adders are built from
+// XOR/AND/OR cells, one cell per bit (the structure black boxes cut out).
+func RippleCarryAdder(n int) *Circuit {
+	c := New()
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = c.AddInput(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b[i] = c.AddInput(fmt.Sprintf("b%d", i))
+	}
+	carry := c.AddInput("cin")
+	for i := 0; i < n; i++ {
+		p := c.AddGate(fmt.Sprintf("p%d", i), XorGate, a[i], b[i])
+		s := c.AddGate(fmt.Sprintf("s%d", i), XorGate, p, carry)
+		g1 := c.AddGate(fmt.Sprintf("g1_%d", i), AndGate, a[i], b[i])
+		g2 := c.AddGate(fmt.Sprintf("g2_%d", i), AndGate, p, carry)
+		carry = c.AddGate(fmt.Sprintf("c%d", i+1), OrGate, g1, g2)
+		c.MarkOutput(s)
+	}
+	c.MarkOutput(carry)
+	return c
+}
+
+// CarryLookaheadAdder builds an n-bit adder with two-level lookahead carry
+// logic: generate g_i = a_i b_i, propagate p_i = a_i ⊕ b_i, and carries
+// expanded as c_{i+1} = g_i ∨ p_i g_{i-1} ∨ ... ∨ p_i…p_0 cin. Functionally
+// identical to RippleCarryAdder with the same pin names.
+func CarryLookaheadAdder(n int) *Circuit {
+	c := New()
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = c.AddInput(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b[i] = c.AddInput(fmt.Sprintf("b%d", i))
+	}
+	cin := c.AddInput("cin")
+	g := make([]int, n)
+	p := make([]int, n)
+	for i := 0; i < n; i++ {
+		g[i] = c.AddGate(fmt.Sprintf("g%d", i), AndGate, a[i], b[i])
+		p[i] = c.AddGate(fmt.Sprintf("p%d", i), XorGate, a[i], b[i])
+	}
+	carries := make([]int, n+1)
+	carries[0] = cin
+	for i := 0; i < n; i++ {
+		// c_{i+1} = g_i ∨ (p_i ∧ ... ∧ p_j ∧ g_{j-1}) ∨ ... ∨ (p_i..p_0 ∧ cin)
+		terms := []int{g[i]}
+		for j := i; j >= 0; j-- {
+			// conjunction p_i..p_j with (g_{j-1} or cin when j==0)
+			conj := p[i]
+			for k := i - 1; k >= j; k-- {
+				conj = c.AddGate(fmt.Sprintf("t%d_%d_%d", i, j, k), AndGate, conj, p[k])
+			}
+			bottom := cin
+			if j > 0 {
+				bottom = g[j-1]
+			}
+			terms = append(terms, c.AddGate(fmt.Sprintf("u%d_%d", i, j), AndGate, conj, bottom))
+		}
+		carries[i+1] = c.AddGate(fmt.Sprintf("c%d", i+1), OrGate, terms...)
+	}
+	for i := 0; i < n; i++ {
+		s := c.AddGate(fmt.Sprintf("s%d", i), XorGate, p[i], carries[i])
+		c.MarkOutput(s)
+	}
+	c.MarkOutput(carries[n])
+	return c
+}
+
+// ArbiterBitcell builds an n-port fixed-priority arbiter as a chain of
+// bitcells (Dally & Harting, Digital Design: A Systems Approach): each cell
+// computes grant_i = req_i ∧ carry_i and passes carry_{i+1} = carry_i ∧
+// ¬req_i. Port 0 has the highest priority.
+func ArbiterBitcell(n int) *Circuit {
+	c := New()
+	req := make([]int, n)
+	for i := 0; i < n; i++ {
+		req[i] = c.AddInput(fmt.Sprintf("r%d", i))
+	}
+	carry := c.AddGate("carry0", OrGate, c.AddGate("nr_init", NotGate, req[0]), req[0])
+	// carry0 ≡ 1 built structurally (avoids a constant gate in BENCH output).
+	for i := 0; i < n; i++ {
+		gnt := c.AddGate(fmt.Sprintf("g%d", i), AndGate, req[i], carry)
+		c.MarkOutput(gnt)
+		if i+1 < n {
+			nr := c.AddGate(fmt.Sprintf("nr%d", i), NotGate, req[i])
+			carry = c.AddGate(fmt.Sprintf("carry%d", i+1), AndGate, carry, nr)
+		}
+	}
+	return c
+}
+
+// ArbiterLookahead builds an n-port fixed-priority arbiter with lookahead:
+// grant_i = req_i ∧ ¬(req_0 ∨ ... ∨ req_{i-1}), computed with a parallel
+// OR-prefix instead of the bitcell carry chain. Functionally identical to
+// ArbiterBitcell with the same pin names.
+func ArbiterLookahead(n int) *Circuit {
+	c := New()
+	req := make([]int, n)
+	for i := 0; i < n; i++ {
+		req[i] = c.AddInput(fmt.Sprintf("r%d", i))
+	}
+	// Prefix ORs (simple doubling structure).
+	prefix := make([]int, n) // prefix[i] = req_0 ∨ ... ∨ req_i
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			prefix[0] = c.AddGate("pre0", OrGate, req[0])
+		} else {
+			prefix[i] = c.AddGate(fmt.Sprintf("pre%d", i), OrGate, prefix[i-1], req[i])
+		}
+	}
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			g0 := c.AddGate("g0", AndGate, req[0])
+			c.MarkOutput(g0)
+			continue
+		}
+		blk := c.AddGate(fmt.Sprintf("blk%d", i), NotGate, prefix[i-1])
+		gnt := c.AddGate(fmt.Sprintf("g%d", i), AndGate, req[i], blk)
+		c.MarkOutput(gnt)
+	}
+	return c
+}
+
+// XorChain builds the pec_xor family circuit: out = x0 ⊕ x1 ⊕ ... ⊕ x(n-1)
+// as a linear chain of XOR cells.
+func XorChain(n int) *Circuit {
+	c := New()
+	x := make([]int, n)
+	for i := 0; i < n; i++ {
+		x[i] = c.AddInput(fmt.Sprintf("x%d", i))
+	}
+	cur := x[0]
+	for i := 1; i < n; i++ {
+		cur = c.AddGate(fmt.Sprintf("t%d", i), XorGate, cur, x[i])
+	}
+	c.MarkOutput(cur)
+	return c
+}
+
+// Z4Adder builds a z4ml-style 2-bit slice adder with carry-in: inputs
+// a0,a1,b0,b1,cin; outputs s0,s1,cout — the ISCAS-85 z4ml analogue used for
+// the z4 PEC family (z4ml is a 2-bit add slice of a larger adder).
+func Z4Adder() *Circuit {
+	return RippleCarryAdder(2)
+}
+
+// Comparator builds an n-bit magnitude comparator: inputs a0..a(n-1),
+// b0..b(n-1); outputs eq (a = b) and gt (a > b), computed MSB-first — the
+// ISCAS-85 "comp" style workload.
+func Comparator(n int) *Circuit {
+	c := New()
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = c.AddInput(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b[i] = c.AddInput(fmt.Sprintf("b%d", i))
+	}
+	// eq_i per bit; eq = AND of all; gt = OR_i (a_i ∧ ¬b_i ∧ eq above i).
+	eqs := make([]int, n)
+	for i := 0; i < n; i++ {
+		eqs[i] = c.AddGate(fmt.Sprintf("eq%d", i), XnorGate, a[i], b[i])
+	}
+	var gtTerms []int
+	for i := n - 1; i >= 0; i-- { // bit n-1 is the MSB
+		nb := c.AddGate(fmt.Sprintf("nb%d", i), NotGate, b[i])
+		term := c.AddGate(fmt.Sprintf("gtb%d", i), AndGate, a[i], nb)
+		for j := n - 1; j > i; j-- {
+			term = c.AddGate(fmt.Sprintf("gtb%d_%d", i, j), AndGate, term, eqs[j])
+		}
+		gtTerms = append(gtTerms, term)
+	}
+	eq := eqs[0]
+	if n > 1 {
+		eq = c.AddGate("eq_all", AndGate, eqs...)
+	}
+	gt := c.AddGate("gt", OrGate, gtTerms...)
+	c.MarkOutput(eq)
+	c.MarkOutput(gt)
+	return c
+}
+
+// ArrayMultiplier builds an n×n-bit array multiplier: inputs a0..a(n-1),
+// b0..b(n-1); outputs p0..p(2n-1) with a·b = Σ p_i 2^i. The partial-product
+// rows are summed with ripple-carry adder cells — the classic "notoriously
+// hard to verify" structure the paper's introduction motivates removing into
+// black boxes. (An extension family beyond the paper's seven.)
+func ArrayMultiplier(n int) *Circuit {
+	c := New()
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := 0; i < n; i++ {
+		a[i] = c.AddInput(fmt.Sprintf("a%d", i))
+	}
+	for i := 0; i < n; i++ {
+		b[i] = c.AddInput(fmt.Sprintf("b%d", i))
+	}
+	// pp[i][j] = a_j ∧ b_i contributes to bit i+j.
+	// acc holds the current partial sum per output bit.
+	zero := -1
+	getZero := func() int {
+		if zero < 0 {
+			na := c.AddGate("mz_n", NotGate, a[0])
+			zero = c.AddGate("mz", AndGate, a[0], na)
+		}
+		return zero
+	}
+	acc := make([]int, 2*n)
+	for i := range acc {
+		acc[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		// Row i: add (a ∧ b_i) << i onto acc with a ripple-carry pass.
+		carry := -1
+		for j := 0; j <= n; j++ {
+			bit := i + j
+			var pp int
+			if j < n {
+				pp = c.AddGate(fmt.Sprintf("pp%d_%d", i, j), AndGate, a[j], b[i])
+			} else if carry < 0 {
+				break
+			} else {
+				pp = getZero()
+			}
+			terms := []int{pp}
+			if acc[bit] >= 0 {
+				terms = append(terms, acc[bit])
+			}
+			if carry >= 0 {
+				terms = append(terms, carry)
+			}
+			switch len(terms) {
+			case 1:
+				acc[bit] = terms[0]
+				carry = -1
+			case 2:
+				s := c.AddGate(fmt.Sprintf("s%d_%d", i, bit), XorGate, terms[0], terms[1])
+				carry = c.AddGate(fmt.Sprintf("c%d_%d", i, bit), AndGate, terms[0], terms[1])
+				acc[bit] = s
+			default: // full adder
+				x := c.AddGate(fmt.Sprintf("x%d_%d", i, bit), XorGate, terms[0], terms[1])
+				s := c.AddGate(fmt.Sprintf("s%d_%d", i, bit), XorGate, x, terms[2])
+				g1 := c.AddGate(fmt.Sprintf("g1m%d_%d", i, bit), AndGate, terms[0], terms[1])
+				g2 := c.AddGate(fmt.Sprintf("g2m%d_%d", i, bit), AndGate, x, terms[2])
+				carry = c.AddGate(fmt.Sprintf("c%d_%d", i, bit), OrGate, g1, g2)
+				acc[bit] = s
+			}
+		}
+	}
+	for bit := 0; bit < 2*n; bit++ {
+		if acc[bit] < 0 {
+			acc[bit] = getZero()
+		}
+		c.MarkOutput(acc[bit])
+	}
+	return c
+}
+
+// MuxTree builds a 2^k-to-1 multiplexer tree: inputs d0..d(2^k-1) and select
+// lines s0..s(k-1); one output equal to d[s]. (An extension family beyond
+// the paper's seven.)
+func MuxTree(k int) *Circuit {
+	c := New()
+	n := 1 << k
+	data := make([]int, n)
+	for i := 0; i < n; i++ {
+		data[i] = c.AddInput(fmt.Sprintf("d%d", i))
+	}
+	sel := make([]int, k)
+	for i := 0; i < k; i++ {
+		sel[i] = c.AddInput(fmt.Sprintf("s%d", i))
+	}
+	level := data
+	for i := 0; i < k; i++ {
+		ns := c.AddGate(fmt.Sprintf("ns%d", i), NotGate, sel[i])
+		next := make([]int, len(level)/2)
+		for j := range next {
+			lo := c.AddGate(fmt.Sprintf("lo%d_%d", i, j), AndGate, level[2*j], ns)
+			hi := c.AddGate(fmt.Sprintf("hi%d_%d", i, j), AndGate, level[2*j+1], sel[i])
+			next[j] = c.AddGate(fmt.Sprintf("m%d_%d", i, j), OrGate, lo, hi)
+		}
+		level = next
+	}
+	c.MarkOutput(level[0])
+	return c
+}
+
+// PriorityController builds a C432-style priority/interrupt controller: n
+// channels, each with a request line r_i and an enable line e_i. A channel
+// is active when r_i ∧ e_i; the controller grants the highest-priority
+// active channel (channel 0 highest) and additionally reports whether any
+// channel is active. This mirrors the structure of ISCAS-85 C432 (a
+// 27-channel interrupt controller) at configurable size.
+func PriorityController(n int) *Circuit {
+	c := New()
+	req := make([]int, n)
+	en := make([]int, n)
+	for i := 0; i < n; i++ {
+		req[i] = c.AddInput(fmt.Sprintf("r%d", i))
+	}
+	for i := 0; i < n; i++ {
+		en[i] = c.AddInput(fmt.Sprintf("e%d", i))
+	}
+	act := make([]int, n)
+	for i := 0; i < n; i++ {
+		act[i] = c.AddGate(fmt.Sprintf("act%d", i), AndGate, req[i], en[i])
+	}
+	// Priority chain over active lines.
+	var blocked int = -1
+	for i := 0; i < n; i++ {
+		var gnt int
+		if i == 0 {
+			gnt = c.AddGate("gnt0", AndGate, act[0])
+		} else {
+			nb := c.AddGate(fmt.Sprintf("nblk%d", i), NotGate, blocked)
+			gnt = c.AddGate(fmt.Sprintf("gnt%d", i), AndGate, act[i], nb)
+		}
+		c.MarkOutput(gnt)
+		if i == 0 {
+			blocked = act[0]
+		} else if i+1 < n {
+			blocked = c.AddGate(fmt.Sprintf("blkor%d", i), OrGate, blocked, act[i])
+		}
+	}
+	// "Any active" line.
+	any := c.AddGate("any", OrGate, act...)
+	c.MarkOutput(any)
+	return c
+}

@@ -1,0 +1,82 @@
+package circuit
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+)
+
+// CNFEncoding is the result of Tseitin-encoding a circuit: clauses defining
+// every internal gate plus the variable assignment for each signal.
+type CNFEncoding struct {
+	// SigLit maps signal ids to the CNF literal representing them.
+	SigLit []cnf.Lit
+	// GateVars lists the variables allocated for internal gates (the Tseitin
+	// auxiliaries), in definition order.
+	GateVars []cnf.Var
+}
+
+// ToCNF Tseitin-encodes the circuit into formula f. Primary inputs and free
+// signals are mapped through sigVar (which must return distinct, already
+// allocated variables); every other gate gets a fresh variable from f with
+// defining clauses appended. Buffers and constants reuse literals instead of
+// allocating variables.
+func (c *Circuit) ToCNF(f *cnf.Formula, sigVar func(id int) cnf.Var) CNFEncoding {
+	enc := CNFEncoding{SigLit: make([]cnf.Lit, len(c.Gates))}
+	// A constant-true variable, allocated lazily.
+	var constTrue cnf.Lit
+	getTrue := func() cnf.Lit {
+		if constTrue == 0 {
+			v := f.NewVar()
+			constTrue = cnf.PosLit(v)
+			f.AddClause(constTrue)
+			enc.GateVars = append(enc.GateVars, v)
+		}
+		return constTrue
+	}
+	for id, gate := range c.Gates {
+		switch gate.Type {
+		case InputGate, FreeGate:
+			enc.SigLit[id] = cnf.PosLit(sigVar(id))
+		case Const0:
+			enc.SigLit[id] = getTrue().Not()
+		case Const1:
+			enc.SigLit[id] = getTrue()
+		case BufGate:
+			enc.SigLit[id] = enc.SigLit[gate.Ins[0]]
+		case NotGate:
+			enc.SigLit[id] = enc.SigLit[gate.Ins[0]].Not()
+		case AndGate, NandGate, OrGate, NorGate:
+			v := f.NewVar()
+			enc.GateVars = append(enc.GateVars, v)
+			g := cnf.PosLit(v)
+			// Normalize to AND form: OR(a,b) = ¬AND(¬a,¬b).
+			inv := gate.Type == OrGate || gate.Type == NorGate
+			outNeg := gate.Type == NandGate || gate.Type == OrGate
+			long := make([]cnf.Lit, 0, len(gate.Ins)+1)
+			long = append(long, g)
+			for _, in := range gate.Ins {
+				il := enc.SigLit[in].XorSign(inv)
+				f.AddClause(g.Not(), il)
+				long = append(long, il.Not())
+			}
+			f.AddClause(long...)
+			enc.SigLit[id] = g.XorSign(outNeg)
+		case XorGate, XnorGate:
+			v := f.NewVar()
+			enc.GateVars = append(enc.GateVars, v)
+			g := cnf.PosLit(v)
+			a := enc.SigLit[gate.Ins[0]]
+			b := enc.SigLit[gate.Ins[1]]
+			// g ↔ a⊕b
+			f.AddClause(g.Not(), a, b)
+			f.AddClause(g.Not(), a.Not(), b.Not())
+			f.AddClause(g, a, b.Not())
+			f.AddClause(g, a.Not(), b)
+			enc.SigLit[id] = g.XorSign(gate.Type == XnorGate)
+		default:
+			panic(fmt.Sprintf("circuit: cannot encode %v", gate.Type))
+		}
+	}
+	return enc
+}

@@ -1,0 +1,201 @@
+package cnf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestLitEncoding(t *testing.T) {
+	cases := []struct {
+		v   Var
+		neg bool
+	}{{1, false}, {1, true}, {2, false}, {7, true}, {1000, false}}
+	for _, c := range cases {
+		l := NewLit(c.v, c.neg)
+		if l.Var() != c.v {
+			t.Errorf("NewLit(%d,%v).Var() = %d", c.v, c.neg, l.Var())
+		}
+		if l.Neg() != c.neg {
+			t.Errorf("NewLit(%d,%v).Neg() = %v", c.v, c.neg, l.Neg())
+		}
+		if l.Not().Var() != c.v || l.Not().Neg() == c.neg {
+			t.Errorf("Not() broken for %v", l)
+		}
+		if l.Not().Not() != l {
+			t.Errorf("double negation broken for %v", l)
+		}
+	}
+}
+
+func TestLitDimacsRoundTrip(t *testing.T) {
+	f := func(d int16) bool {
+		if d == 0 {
+			return true
+		}
+		return LitFromDimacs(int(d)).Dimacs() == int(d)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPosNegLit(t *testing.T) {
+	if PosLit(3).Neg() || !NegLit(3).Neg() {
+		t.Fatal("PosLit/NegLit polarity wrong")
+	}
+	if PosLit(3).Not() != NegLit(3) {
+		t.Fatal("PosLit(3).Not() != NegLit(3)")
+	}
+}
+
+func TestXorSign(t *testing.T) {
+	l := PosLit(5)
+	if l.XorSign(false) != l {
+		t.Error("XorSign(false) changed literal")
+	}
+	if l.XorSign(true) != l.Not() {
+		t.Error("XorSign(true) did not negate")
+	}
+}
+
+func TestClauseNormalize(t *testing.T) {
+	c := Clause{PosLit(2), PosLit(1), PosLit(2), NegLit(3)}
+	n, taut := c.Normalize()
+	if taut {
+		t.Fatal("unexpected tautology")
+	}
+	if len(n) != 3 {
+		t.Fatalf("want 3 literals after dedup, got %v", n)
+	}
+	c2 := Clause{PosLit(1), NegLit(1)}
+	if _, taut := c2.Normalize(); !taut {
+		t.Fatal("missed tautology")
+	}
+}
+
+func TestClauseHas(t *testing.T) {
+	c := Clause{PosLit(1), NegLit(2)}
+	if !c.Has(PosLit(1)) || c.Has(NegLit(1)) {
+		t.Error("Has wrong")
+	}
+	if !c.HasVar(2) || c.HasVar(3) {
+		t.Error("HasVar wrong")
+	}
+}
+
+func TestFormulaEval(t *testing.T) {
+	f := NewFormula(3)
+	f.AddDimacsClause(1, 2)
+	f.AddDimacsClause(-1, 3)
+	a := NewAssignment(3)
+	a.Set(1, true)
+	a.Set(3, true)
+	if !f.Eval(a) {
+		t.Fatal("assignment should satisfy formula")
+	}
+	a.Set(3, false)
+	if f.Eval(a) {
+		t.Fatal("assignment should falsify formula")
+	}
+}
+
+func TestFormulaNewVarClone(t *testing.T) {
+	f := NewFormula(2)
+	v := f.NewVar()
+	if v != 3 || f.NumVars != 3 {
+		t.Fatalf("NewVar: got %d, NumVars %d", v, f.NumVars)
+	}
+	f.AddDimacsClause(1, -3)
+	g := f.Clone()
+	g.Clauses[0][0] = NegLit(1)
+	if f.Clauses[0][0] != PosLit(1) {
+		t.Fatal("Clone aliases clause storage")
+	}
+}
+
+func TestParseDIMACS(t *testing.T) {
+	in := `c example
+p cnf 4 3
+1 -2 0
+2 3 0
+-4 0
+`
+	f, err := ParseDIMACSString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 4 || len(f.Clauses) != 3 {
+		t.Fatalf("got %d vars, %d clauses", f.NumVars, len(f.Clauses))
+	}
+	if f.Clauses[0][1] != NegLit(2) {
+		t.Fatalf("clause 0 = %v", f.Clauses[0])
+	}
+}
+
+func TestParseDIMACSNoHeader(t *testing.T) {
+	f, err := ParseDIMACSString("1 2 0\n-2 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumVars != 2 || len(f.Clauses) != 2 {
+		t.Fatalf("got %d vars, %d clauses", f.NumVars, len(f.Clauses))
+	}
+}
+
+func TestParseDIMACSMultiLineClause(t *testing.T) {
+	f, err := ParseDIMACSString("p cnf 3 1\n1 2\n3 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Clauses) != 1 || len(f.Clauses[0]) != 3 {
+		t.Fatalf("clauses = %v", f.Clauses)
+	}
+}
+
+func TestParseDIMACSErrors(t *testing.T) {
+	if _, err := ParseDIMACSString("p cnf x 3\n"); err == nil {
+		t.Error("want error for bad var count")
+	}
+	if _, err := ParseDIMACSString("p dnf 1 1\n"); err == nil {
+		t.Error("want error for non-cnf problem line")
+	}
+	if _, err := ParseDIMACSString("1 two 0\n"); err == nil {
+		t.Error("want error for bad literal")
+	}
+}
+
+func TestWriteDIMACSRoundTrip(t *testing.T) {
+	f := NewFormula(0)
+	f.AddDimacsClause(1, -2, 3)
+	f.AddDimacsClause(-3)
+	var buf bytes.Buffer
+	if err := f.WriteDIMACS(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g, err := ParseDIMACS(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVars != f.NumVars || len(g.Clauses) != len(f.Clauses) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", f, g)
+	}
+	for i := range f.Clauses {
+		for j := range f.Clauses[i] {
+			if f.Clauses[i][j] != g.Clauses[i][j] {
+				t.Fatalf("clause %d differs", i)
+			}
+		}
+	}
+}
+
+func TestClauseString(t *testing.T) {
+	c := Clause{PosLit(1), NegLit(2)}
+	if got := c.String(); got != "1 -2 0" {
+		t.Errorf("String() = %q", got)
+	}
+	if !strings.Contains(PosLit(7).String(), "7") {
+		t.Error("lit String broken")
+	}
+}

@@ -1,0 +1,462 @@
+// Package core implements HQS, the paper's contribution: an elimination-based
+// DQBF solver that turns a dependency quantified Boolean formula into an
+// equivalent QBF by eliminating a minimum set of universal variables, then
+// hands the linearized problem to an AIG-based QBF solver.
+//
+// The pipeline follows Fig. 3 of the paper:
+//
+//  1. CNF preprocessing — unit propagation, DQBF universal reduction,
+//     equivalent-variable substitution, Tseitin gate detection (preprocess.go,
+//     gates.go).
+//  2. AIG construction from the preprocessed CNF, composing detected gate
+//     functions directly so their auxiliary variables never need explicit
+//     elimination (build.go).
+//  3. Selection of a minimum universal elimination set via partial MaxSAT
+//     over the binary dependency-set cycles (elimset.go; Equations 1 and 2),
+//     ordered by the number of existential copies each elimination costs.
+//  4. The main loop: syntactic unit/pure elimination on the AIG
+//     (Theorems 5/6), elimination of existentials depending on all universals
+//     (Theorem 2), and elimination of the selected universals (Theorem 1)
+//     until the dependency graph is acyclic, with periodic SAT sweeping.
+//  5. Linearization (Theorem 3) and the QBF back end (package qbf).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/aig"
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+	"repro/internal/qbf"
+)
+
+// Status describes how a Solve attempt ended.
+type Status int
+
+const (
+	// Solved means a definitive SAT/UNSAT verdict was reached.
+	Solved Status = iota
+	// Timeout means the wall-clock budget was exhausted.
+	Timeout
+	// Memout means the AIG node budget was exhausted.
+	Memout
+)
+
+func (s Status) String() string {
+	switch s {
+	case Solved:
+		return "solved"
+	case Timeout:
+		return "timeout"
+	case Memout:
+		return "memout"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Options configure the solver. The zero value disables every optimization;
+// use DefaultOptions for the paper's configuration.
+type Options struct {
+	// Preprocess enables CNF-level preprocessing.
+	Preprocess bool
+	// DetectGates enables Tseitin gate detection (requires Preprocess).
+	DetectGates bool
+	// UnitPure enables syntactic unit/pure elimination on the AIG.
+	UnitPure bool
+	// Strategy selects the universal elimination set.
+	Strategy ElimStrategy
+	// ReverseElimOrder inverts the copy-cost ordering (ablation).
+	ReverseElimOrder bool
+	// SweepThreshold triggers a SAT sweep when the matrix grows by this many
+	// AND nodes since the last sweep; 0 disables sweeping.
+	SweepThreshold int
+	// SweepOptions configure individual sweeps.
+	SweepOptions aig.SweepOptions
+	// QBF configures the back-end QBF solver.
+	QBF qbf.Options
+	// NodeLimit bounds the AIG size (the analogue of the paper's 8 GB
+	// memory limit); 0 means unlimited.
+	NodeLimit int
+	// Timeout bounds wall-clock solving time; 0 means unlimited.
+	Timeout time.Duration
+}
+
+// DefaultOptions mirror the configuration evaluated in the paper.
+func DefaultOptions() Options {
+	return Options{
+		Preprocess:     true,
+		DetectGates:    true,
+		UnitPure:       true,
+		Strategy:       ElimMaxSAT,
+		SweepThreshold: 1024,
+		SweepOptions:   aig.DefaultSweepOptions(),
+		QBF:            qbf.DefaultOptions(),
+	}
+}
+
+// Stats collects solver counters and the instrumentation the paper reports
+// (MaxSAT selection time, unit/pure check time).
+type Stats struct {
+	Preprocess   PreprocessResult
+	ElimSet      []cnf.Var
+	ElimSetTime  time.Duration
+	UnitPureTime time.Duration
+	TotalTime    time.Duration
+
+	UnivElims  int // Theorem 1 eliminations
+	ExistElims int // Theorem 2 eliminations
+	UnitElims  int
+	PureElims  int
+	CopiesMade int // existential copies introduced by Theorem 1
+	Sweeps     int
+
+	PeakAIGNodes int
+	QBF          qbf.Stats
+	DecidedBy    string // "preprocess", "constant", "qbf"
+}
+
+// Result is the outcome of a Solve call.
+type Result struct {
+	Status Status
+	Sat    bool
+	Stats  Stats
+}
+
+// Solver is the HQS DQBF solver.
+type Solver struct {
+	Opt Options
+}
+
+// New returns a solver with the given options.
+func New(opt Options) *Solver { return &Solver{Opt: opt} }
+
+// errTimeout is used internally to unwind on deadline.
+var errTimeout = errors.New("core: timeout")
+
+// Solve decides the DQBF. The input formula is not modified.
+func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
+	start := time.Now()
+	defer func() { res.Stats.TotalTime = time.Since(start) }()
+
+	var deadline time.Time
+	if s.Opt.Timeout > 0 {
+		deadline = start.Add(s.Opt.Timeout)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(aig.ErrNodeLimit); ok {
+				res.Status = Memout
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	work := f.Clone()
+
+	// Step 1: preprocessing.
+	if s.Opt.Preprocess {
+		pr, err := Preprocess(work, s.Opt.DetectGates)
+		res.Stats.Preprocess = pr
+		if err != nil {
+			panic(fmt.Sprintf("core: %v", err))
+		}
+		if pr.Decided {
+			res.Status = Solved
+			res.Sat = pr.Value
+			res.Stats.DecidedBy = "preprocess"
+			return res
+		}
+	}
+
+	// Step 2: AIG construction.
+	g := aig.New()
+	g.NodeLimit = s.Opt.NodeLimit
+	m := BuildMatrix(g, work.Matrix, res.Stats.Preprocess.Gates)
+	track := func() {
+		if n := g.NumNodes(); n > res.Stats.PeakAIGNodes {
+			res.Stats.PeakAIGNodes = n
+		}
+	}
+	track()
+
+	// Step 3: elimination-set selection.
+	selStart := time.Now()
+	elim, err := SelectEliminationSet(work, s.Opt.Strategy)
+	if err != nil {
+		panic(fmt.Sprintf("core: %v", err))
+	}
+	elim = OrderByCopyCost(work, elim)
+	if s.Opt.ReverseElimOrder {
+		for i, j := 0, len(elim)-1; i < j; i, j = i+1, j-1 {
+			elim[i], elim[j] = elim[j], elim[i]
+		}
+	}
+	res.Stats.ElimSetTime = time.Since(selStart)
+	res.Stats.ElimSet = elim
+
+	nextVar := cnf.Var(work.Matrix.NumVars + 1)
+	lastSweepSize := g.ConeSize(m)
+
+	checkDeadline := func() {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			panic(errTimeout)
+		}
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if r == errTimeout {
+				res.Status = Timeout
+				return
+			}
+			if _, ok := r.(aig.ErrNodeLimit); ok {
+				res.Status = Memout
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	// Step 4: main loop.
+	for {
+		checkDeadline()
+		if m.IsConst() {
+			res.Status = Solved
+			res.Sat = m == aig.True
+			res.Stats.DecidedBy = "constant"
+			return res
+		}
+		if s.Opt.UnitPure {
+			var done bool
+			m, done = s.applyUnitPure(g, work, m, &res.Stats)
+			if done {
+				res.Status = Solved
+				res.Sat = m == aig.True
+				res.Stats.DecidedBy = "constant"
+				return res
+			}
+		}
+		s.dropNonSupport(g, work, m)
+
+		// Theorem 2: eliminate existentials depending on all universals.
+		univSet := work.UniversalSet()
+		for _, y := range append([]cnf.Var(nil), work.Exist...) {
+			if !work.Deps[y].Equal(univSet) {
+				continue
+			}
+			checkDeadline()
+			m = g.Exists(m, y)
+			removeVarFromPrefix(work, y)
+			res.Stats.ExistElims++
+			track()
+			if m.IsConst() {
+				res.Status = Solved
+				res.Sat = m == aig.True
+				res.Stats.DecidedBy = "constant"
+				return res
+			}
+		}
+
+		if !dqbf.IsCyclic(work) {
+			break
+		}
+
+		// Theorem 1: eliminate the next selected universal variable.
+		x := cnf.Var(0)
+		for len(elim) > 0 {
+			cand := elim[0]
+			elim = elim[1:]
+			if work.IsUniversal(cand) {
+				x = cand
+				break
+			}
+		}
+		if x == 0 {
+			// The precomputed set is exhausted but cycles remain (possible
+			// only if unit/pure removed selected variables in a way that
+			// left other cycles): recompute.
+			more, err := SelectEliminationSet(work, s.Opt.Strategy)
+			if err != nil {
+				panic(fmt.Sprintf("core: %v", err))
+			}
+			elim = OrderByCopyCost(work, more)
+			if len(elim) == 0 {
+				break
+			}
+			continue
+		}
+		m = s.eliminateUniversal(g, work, m, x, &nextVar, &res.Stats)
+		track()
+
+		if s.Opt.SweepThreshold > 0 {
+			if size := g.ConeSize(m); size > lastSweepSize+s.Opt.SweepThreshold {
+				so := s.Opt.SweepOptions
+				so.Deadline = deadline
+				m, _ = g.Sweep(m, so)
+				res.Stats.Sweeps++
+				lastSweepSize = g.ConeSize(m)
+			}
+		}
+	}
+
+	// Step 5: linearize and run the QBF back end.
+	if m.IsConst() {
+		res.Status = Solved
+		res.Sat = m == aig.True
+		res.Stats.DecidedBy = "constant"
+		return res
+	}
+	s.dropNonSupport(g, work, m)
+	blocks := dqbf.Linearize(work)
+	qopt := s.Opt.QBF
+	qopt.Deadline = deadline
+	qs := qbf.New(g, qopt)
+	sat, err := qs.Solve(blocks, m)
+	res.Stats.QBF = qs.Stat
+	track()
+	if err != nil {
+		if _, ok := err.(aig.ErrNodeLimit); ok {
+			res.Status = Memout
+			return res
+		}
+		if errors.Is(err, qbf.ErrTimeout) {
+			res.Status = Timeout
+			return res
+		}
+		panic(fmt.Sprintf("core: qbf back end: %v", err))
+	}
+	res.Status = Solved
+	res.Sat = sat
+	res.Stats.DecidedBy = "qbf"
+	return res
+}
+
+// eliminateUniversal applies Theorem 1 to universal variable x:
+// ψ ≡ ∀-prefix without x : φ[0/x] ∧ φ[1/x][y'/y for y ∈ E_x], where every
+// existential depending on x is duplicated in the positive cofactor with
+// dependency set D_y ∖ {x}.
+func (s *Solver) eliminateUniversal(g *aig.Graph, work *dqbf.Formula, m aig.Ref, x cnf.Var, nextVar *cnf.Var, st *Stats) aig.Ref {
+	cof0 := g.Cofactor(m, x, false)
+	cof1 := g.Cofactor(m, x, true)
+
+	ren := make(map[cnf.Var]cnf.Var)
+	for _, y := range work.Exist {
+		if work.Deps[y].Has(x) {
+			ren[y] = *nextVar
+			*nextVar++
+		}
+	}
+	cof1 = g.Rename(cof1, ren)
+
+	// Prefix update: drop x; D_y loses x; copies y' join with the same set.
+	removeVarFromPrefix(work, x)
+	for y, yc := range ren {
+		work.Exist = append(work.Exist, yc)
+		work.Deps[yc] = work.Deps[y].Clone()
+		if int(yc) > work.Matrix.NumVars {
+			work.Matrix.NumVars = int(yc)
+		}
+	}
+	st.UnivElims++
+	st.CopiesMade += len(ren)
+	return g.And(cof0, cof1)
+}
+
+// applyUnitPure eliminates unit and pure variables (Theorems 5/6) until a
+// fixpoint. The second return value is true when the matrix became constant.
+func (s *Solver) applyUnitPure(g *aig.Graph, work *dqbf.Formula, m aig.Ref, st *Stats) (aig.Ref, bool) {
+	for {
+		changed := false
+		upStart := time.Now()
+		up := g.UnitPure(m)
+		st.UnitPureTime += time.Since(upStart)
+		for v, p := range up {
+			exist := work.IsExistential(v)
+			univ := work.IsUniversal(v)
+			if !exist && !univ {
+				continue // gate-defined or already removed
+			}
+			switch {
+			case exist && p.PosUnit:
+				m = g.Cofactor(m, v, true)
+				st.UnitElims++
+			case exist && p.NegUnit:
+				m = g.Cofactor(m, v, false)
+				st.UnitElims++
+			case univ && (p.PosUnit || p.NegUnit):
+				return aig.False, true
+			case exist && p.PosPure:
+				m = g.Cofactor(m, v, true)
+				st.PureElims++
+			case exist && p.NegPure:
+				m = g.Cofactor(m, v, false)
+				st.PureElims++
+			case univ && p.PosPure:
+				m = g.Cofactor(m, v, false)
+				st.PureElims++
+			case univ && p.NegPure:
+				m = g.Cofactor(m, v, true)
+				st.PureElims++
+			default:
+				continue
+			}
+			removeVarFromPrefix(work, v)
+			changed = true
+			if m.IsConst() {
+				return m, true
+			}
+			break // recompute unit/pure flags on the new matrix
+		}
+		if !changed {
+			return m, false
+		}
+	}
+}
+
+// dropNonSupport removes prefix variables that the matrix no longer depends
+// on. Universal variables simply leave the dependency sets as well.
+func (s *Solver) dropNonSupport(g *aig.Graph, work *dqbf.Formula, m aig.Ref) {
+	support := g.Support(m)
+	var exist []cnf.Var
+	for _, y := range work.Exist {
+		if support[y] {
+			exist = append(exist, y)
+		} else {
+			delete(work.Deps, y)
+		}
+	}
+	work.Exist = exist
+	var univ []cnf.Var
+	for _, x := range work.Univ {
+		if support[x] {
+			univ = append(univ, x)
+			continue
+		}
+		for _, d := range work.Deps {
+			d.Remove(x)
+		}
+	}
+	work.Univ = univ
+}
+
+func removeVarFromPrefix(f *dqbf.Formula, v cnf.Var) {
+	for i, u := range f.Univ {
+		if u == v {
+			f.Univ = append(f.Univ[:i], f.Univ[i+1:]...)
+			for _, d := range f.Deps {
+				d.Remove(v)
+			}
+			return
+		}
+	}
+	for i, y := range f.Exist {
+		if y == v {
+			f.Exist = append(f.Exist[:i], f.Exist[i+1:]...)
+			delete(f.Deps, v)
+			return
+		}
+	}
+}

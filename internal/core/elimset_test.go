@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+)
+
+// elimMakesAcyclic checks that removing the given universals from all
+// dependency sets leaves an acyclic dependency graph.
+func elimMakesAcyclic(f *dqbf.Formula, elim []cnf.Var) bool {
+	g := f.Clone()
+	for _, x := range elim {
+		for _, d := range g.Deps {
+			d.Remove(x)
+		}
+	}
+	return !dqbf.IsCyclic(g)
+}
+
+func mkPrefix(nUniv int, deps ...[]cnf.Var) *dqbf.Formula {
+	f := dqbf.New()
+	for i := 1; i <= nUniv; i++ {
+		f.AddUniversal(cnf.Var(i))
+	}
+	for i, d := range deps {
+		f.AddExistential(cnf.Var(nUniv+i+1), d...)
+	}
+	return f
+}
+
+func TestSelectEmptyForAcyclic(t *testing.T) {
+	f := mkPrefix(2, []cnf.Var{1}, []cnf.Var{1, 2})
+	for _, strat := range []ElimStrategy{ElimMaxSAT, ElimGreedy, ElimAll} {
+		elim, err := SelectEliminationSet(f, strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(elim) != 0 {
+			t.Fatalf("%v: acyclic prefix needs no elimination, got %v", strat, elim)
+		}
+	}
+}
+
+func TestSelectSingleCycle(t *testing.T) {
+	// ∃y1(x1) ∃y2(x2): one cycle, minimum set has size 1.
+	f := mkPrefix(2, []cnf.Var{1}, []cnf.Var{2})
+	elim, err := SelectEliminationSet(f, ElimMaxSAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elim) != 1 {
+		t.Fatalf("elim = %v, want one variable", elim)
+	}
+	if !elimMakesAcyclic(f, elim) {
+		t.Fatal("selected set does not break the cycle")
+	}
+}
+
+func TestSelectSharedVariableOptimum(t *testing.T) {
+	// y1(x1,x3), y2(x2,x3), y3(x1), y4(x2): four binary cycles whose
+	// minimum hitting structure needs two variables (e.g. {x1,x2}).
+	f := mkPrefix(3,
+		[]cnf.Var{1, 3}, []cnf.Var{2, 3},
+		[]cnf.Var{1}, []cnf.Var{2})
+	elim, err := SelectEliminationSet(f, ElimMaxSAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elim) != 2 {
+		t.Fatalf("elim = %v, want exactly two variables", elim)
+	}
+	if !elimMakesAcyclic(f, elim) {
+		t.Fatal("selected set does not linearize")
+	}
+}
+
+func TestSelectMultiVarDiffSets(t *testing.T) {
+	// y1(x1,x2) vs y2(x3): must eliminate {x1,x2} or {x3}; optimum {x3}.
+	f := mkPrefix(3, []cnf.Var{1, 2}, []cnf.Var{3})
+	elim, err := SelectEliminationSet(f, ElimMaxSAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(elim) != 1 || elim[0] != 3 {
+		t.Fatalf("elim = %v, want [3]", elim)
+	}
+}
+
+func TestGreedyBreaksCycles(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 100; iter++ {
+		f := randomDQBF(rng, 2+rng.Intn(5), 2+rng.Intn(5), 1)
+		elim, err := SelectEliminationSet(f, ElimGreedy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !elimMakesAcyclic(f, elim) {
+			t.Fatalf("iter %d: greedy set %v does not linearize %v", iter, elim, f)
+		}
+	}
+}
+
+func TestMaxSATOptimalityAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for iter := 0; iter < 80; iter++ {
+		nUniv := 2 + rng.Intn(4)
+		f := randomDQBF(rng, nUniv, 2+rng.Intn(4), 1)
+		elim, err := SelectEliminationSet(f, ElimMaxSAT)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !elimMakesAcyclic(f, elim) {
+			t.Fatalf("iter %d: MaxSAT set %v does not linearize", iter, elim)
+		}
+		// Brute-force the true minimum over all subsets of universals.
+		best := len(f.Univ) + 1
+		for bits := 0; bits < 1<<nUniv; bits++ {
+			var sub []cnf.Var
+			for i, x := range f.Univ {
+				if bits&(1<<i) != 0 {
+					sub = append(sub, x)
+				}
+			}
+			if elimMakesAcyclic(f, sub) && len(sub) < best {
+				best = len(sub)
+			}
+		}
+		if len(elim) != best {
+			t.Fatalf("iter %d: MaxSAT chose %d vars, optimum is %d (%v)", iter, len(elim), best, f)
+		}
+	}
+}
+
+func TestOrderByCopyCost(t *testing.T) {
+	// x1 in 3 dep sets, x2 in 1, x3 in 2.
+	f := mkPrefix(3,
+		[]cnf.Var{1, 3}, []cnf.Var{1}, []cnf.Var{1, 2, 3})
+	got := OrderByCopyCost(f, []cnf.Var{1, 2, 3})
+	want := []cnf.Var{2, 3, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestElimStrategyString(t *testing.T) {
+	if ElimMaxSAT.String() != "maxsat" || ElimGreedy.String() != "greedy" || ElimAll.String() != "all" {
+		t.Fatal("ElimStrategy.String broken")
+	}
+}

@@ -1,0 +1,303 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+)
+
+// detectGates recognizes Tseitin-encoded AND/OR/XOR gate definitions in the
+// matrix (Section III-C): the defining clauses are removed and the
+// relationship is stored as a Gate so that the AIG construction composes the
+// gate function in directly — the auxiliary output variable then needs no
+// explicit elimination.
+//
+// A definition g ↔ f(l1..ln) may be extracted only if f is a legal Skolem
+// function for g: every universal input must be in D_g and every existential
+// input's dependency set must be contained in D_g. Definitions must form a
+// DAG; a gate that would close a definition cycle is skipped.
+func (p *preprocessor) detectGates() {
+	m := p.f.Matrix
+
+	// Index clauses: key = sorted literal tuple.
+	removed := make([]bool, len(m.Clauses))
+	binIdx := make(map[[2]cnf.Lit]int)
+	for i, c := range m.Clauses {
+		if len(c) == 2 {
+			a, b := c[0], c[1]
+			if a > b {
+				a, b = b, a
+			}
+			binIdx[[2]cnf.Lit{a, b}] = i
+		}
+	}
+	findBin := func(a, b cnf.Lit) (int, bool) {
+		if a > b {
+			a, b = b, a
+		}
+		i, ok := binIdx[[2]cnf.Lit{a, b}]
+		if ok && removed[i] {
+			return 0, false
+		}
+		return i, ok
+	}
+
+	defined := make(map[cnf.Var]bool)        // gate outputs already defined
+	usesOf := make(map[cnf.Var][]cnf.Var)    // gate output -> inputs that are gate outputs
+	reaches := func(from, to cnf.Var) bool { // DFS over definition edges
+		var rec func(cnf.Var) bool
+		seen := map[cnf.Var]bool{}
+		rec = func(v cnf.Var) bool {
+			if v == to {
+				return true
+			}
+			if seen[v] {
+				return false
+			}
+			seen[v] = true
+			for _, w := range usesOf[v] {
+				if rec(w) {
+					return true
+				}
+			}
+			return false
+		}
+		return rec(from)
+	}
+
+	validSkolemInputs := func(out cnf.Var, ins []cnf.Lit) bool {
+		dg := p.f.Deps[out]
+		for _, l := range ins {
+			v := l.Var()
+			if v == out {
+				return false
+			}
+			if p.f.IsUniversal(v) {
+				if !dg.Has(v) {
+					return false
+				}
+				continue
+			}
+			d, ok := p.f.Deps[v]
+			if !ok || !d.SubsetOf(dg) {
+				return false
+			}
+		}
+		return true
+	}
+
+	acceptGate := func(g Gate, clauseIdx []int) {
+		for _, i := range clauseIdx {
+			removed[i] = true
+		}
+		defined[g.Out] = true
+		for _, l := range g.Ins {
+			if p.f.IsExistential(l.Var()) {
+				usesOf[g.Out] = append(usesOf[g.Out], l.Var())
+			}
+		}
+		p.res.Gates = append(p.res.Gates, g)
+	}
+
+	// AND/OR detection: a clause (go ∨ ¬l1 ∨ ... ∨ ¬ln) with binaries
+	// (¬go ∨ li) for all i encodes go ↔ l1∧...∧ln. If go appears negatively
+	// in the long clause the same pattern encodes an OR.
+	for i, c := range m.Clauses {
+		if removed[i] || len(c) < 3 {
+			continue
+		}
+		for _, outLit := range c {
+			out := outLit.Var()
+			if !p.f.IsExistential(out) || defined[out] {
+				continue
+			}
+			ins := make([]cnf.Lit, 0, len(c)-1)
+			idxs := []int{i}
+			ok := true
+			for _, l := range c {
+				if l == outLit {
+					continue
+				}
+				if l.Var() == out {
+					ok = false
+					break
+				}
+				in := l.Not()
+				bi, found := findBin(outLit.Not(), in)
+				if !found {
+					ok = false
+					break
+				}
+				ins = append(ins, in)
+				idxs = append(idxs, bi)
+			}
+			if !ok || !validSkolemInputs(out, ins) {
+				continue
+			}
+			// Cycle check: some input's definition must not reach out.
+			cyclic := false
+			for _, l := range ins {
+				if defined[l.Var()] && reaches(l.Var(), out) {
+					cyclic = true
+					break
+				}
+			}
+			if cyclic {
+				continue
+			}
+			// outLit positive: out ↔ AND(ins). Negative: ¬out ↔ AND(ins).
+			acceptGate(Gate{Kind: GateAnd, Out: out, OutNeg: outLit.Neg(), Ins: ins}, idxs)
+			break
+		}
+	}
+
+	// XOR detection: four ternary clauses over the same variable triple with
+	// the parity pattern of g ↔ a ⊕ b.
+	type triple [3]cnf.Var
+	ternary := make(map[triple][]int)
+	for i, c := range m.Clauses {
+		if removed[i] || len(c) != 3 {
+			continue
+		}
+		vs := []cnf.Var{c[0].Var(), c[1].Var(), c[2].Var()}
+		sort.Slice(vs, func(a, b int) bool { return vs[a] < vs[b] })
+		if vs[0] == vs[1] || vs[1] == vs[2] {
+			continue
+		}
+		ternary[triple{vs[0], vs[1], vs[2]}] = append(ternary[triple{vs[0], vs[1], vs[2]}], i)
+	}
+	for vs, idxs := range ternary {
+		if len(idxs) < 4 {
+			continue
+		}
+		// Collect the sign patterns present (bit i = literal of vs[i] negative).
+		pat := make(map[int]int) // sign pattern -> clause index
+		for _, i := range idxs {
+			if removed[i] {
+				continue
+			}
+			mask := 0
+			for _, l := range m.Clauses[i] {
+				for k, v := range vs {
+					if l.Var() == v && l.Neg() {
+						mask |= 1 << k
+					}
+				}
+			}
+			pat[mask] = i
+		}
+		// g ↔ a⊕b over (g,a,b) = (vs[k], others): clauses are the four sign
+		// patterns with an odd/even structure. For output position k, the
+		// encoding's clauses as sign masks are those where the parity of all
+		// three negation bits is odd... derive directly: clauses of
+		// (¬g∨a∨b)(¬g∨¬a∨¬b)(g∨a∨¬b)(g∨¬a∨b) — masks with even total parity
+		// encode g↔a⊕b; masks with odd parity encode g↔¬(a⊕b)=g↔a↔b.
+		for k := 0; k < 3; k++ {
+			out := vs[k]
+			if !p.f.IsExistential(out) || defined[out] {
+				continue
+			}
+			var others []cnf.Var
+			for j, v := range vs {
+				if j != k {
+					others = append(others, v)
+				}
+			}
+			// Check XOR pattern (even-parity masks): {k-bit set with others
+			// equal} ∪ {k-bit clear with others differing}… enumerate the
+			// 4 masks of g↔a⊕b directly.
+			kb := 1 << k
+			var a, b int
+			switch k {
+			case 0:
+				a, b = 1, 2
+			case 1:
+				a, b = 0, 2
+			default:
+				a, b = 0, 1
+			}
+			ab, bb := 1<<a, 1<<b
+			// g ↔ a⊕b ≡ CNF {(¬g a b) (¬g ¬a ¬b) (g a ¬b) (g ¬a b)}
+			xorMasks := []int{kb, kb | ab | bb, bb, ab}
+			// g ↔ ¬(a⊕b): complement g's sign in each clause.
+			xnorMasks := []int{0, ab | bb, kb | bb, kb | ab}
+			match := func(masks []int) bool {
+				for _, mk := range masks {
+					i, ok := pat[mk]
+					if !ok || removed[i] {
+						return false
+					}
+				}
+				return true
+			}
+			var outNeg bool
+			var masks []int
+			if match(xorMasks) {
+				outNeg = false
+				masks = xorMasks
+			} else if match(xnorMasks) {
+				outNeg = true
+				masks = xnorMasks
+			} else {
+				continue
+			}
+			ins := []cnf.Lit{cnf.PosLit(others[0]), cnf.PosLit(others[1])}
+			if !validSkolemInputs(out, ins) {
+				continue
+			}
+			cyclic := false
+			for _, l := range ins {
+				if defined[l.Var()] && reaches(l.Var(), out) {
+					cyclic = true
+					break
+				}
+			}
+			if cyclic {
+				continue
+			}
+			var ci []int
+			for _, mk := range masks {
+				ci = append(ci, pat[mk])
+			}
+			acceptGate(Gate{Kind: GateXor, Out: out, OutNeg: outNeg, Ins: ins}, ci)
+			break
+		}
+	}
+
+	// Drop the defining clauses from the matrix.
+	if len(p.res.Gates) > 0 {
+		out := m.Clauses[:0]
+		for i, c := range m.Clauses {
+			if !removed[i] {
+				out = append(out, c)
+			}
+		}
+		m.Clauses = out
+		// Gate outputs leave the prefix: they are defined, not free.
+		for _, g := range p.res.Gates {
+			p.removeExistentialKeepDeps(g.Out)
+		}
+	}
+}
+
+// removeExistentialKeepDeps removes y from the existential prefix without
+// touching other dependency sets (the variable is now structurally defined).
+func (p *preprocessor) removeExistentialKeepDeps(y cnf.Var) {
+	for i, v := range p.f.Exist {
+		if v == y {
+			p.f.Exist = append(p.f.Exist[:i], p.f.Exist[i+1:]...)
+			break
+		}
+	}
+	delete(p.f.Deps, y)
+}
+
+// gateFanins returns, for testing, the set of variables feeding gate g.
+func gateFanins(g Gate) *dqbf.VarSet {
+	s := dqbf.NewVarSet()
+	for _, l := range g.Ins {
+		s.Add(l.Var())
+	}
+	return s
+}

@@ -1,0 +1,343 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+)
+
+func TestUnitPropagationExistential(t *testing.T) {
+	f := dqbf.New()
+	f.AddUniversal(1)
+	f.AddExistential(2, 1)
+	f.AddExistential(3, 1)
+	f.Matrix.AddDimacsClause(2)
+	f.Matrix.AddDimacsClause(-2, 3, 1)
+	pr, err := Preprocess(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Units == 0 {
+		t.Fatal("unit not propagated")
+	}
+	if f.IsExistential(2) {
+		t.Fatal("unit variable still in prefix")
+	}
+}
+
+func TestUnitUniversalUnsat(t *testing.T) {
+	f := dqbf.New()
+	f.AddUniversal(1)
+	f.AddExistential(2, 1)
+	f.Matrix.AddDimacsClause(1)
+	f.Matrix.AddDimacsClause(2, -1)
+	pr, err := Preprocess(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Decided || pr.Value {
+		t.Fatal("unit universal must decide UNSAT")
+	}
+}
+
+func TestUniversalReduction(t *testing.T) {
+	// Clause (x1 ∨ y3) where y3 does not depend on x1: x1 is deleted; the
+	// remaining unit (y3) then propagates and the second clause keeps the
+	// instance alive.
+	f := dqbf.New()
+	f.AddUniversal(1)
+	f.AddUniversal(2)
+	f.AddExistential(3, 2)
+	f.AddExistential(4, 1, 2)
+	f.Matrix.AddDimacsClause(1, 3)
+	f.Matrix.AddDimacsClause(-3, 4, -2)
+	f.Matrix.AddDimacsClause(-4, 2, 1)
+	pr, err := Preprocess(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.UnivReductions < 1 {
+		t.Fatalf("UnivReductions = %d, want >= 1", pr.UnivReductions)
+	}
+	if pr.Units < 1 {
+		t.Fatalf("Units = %d, want >= 1 (reduced clause becomes unit)", pr.Units)
+	}
+	for _, c := range f.Matrix.Clauses {
+		if c.HasVar(3) {
+			t.Fatal("y3 still present after unit propagation")
+		}
+	}
+}
+
+func TestUniversalReductionAllUniversalClauseUnsat(t *testing.T) {
+	// A (non-tautological) clause of only universals reduces to empty: UNSAT.
+	f := dqbf.New()
+	f.AddUniversal(1)
+	f.AddUniversal(2)
+	f.AddExistential(3, 1)
+	f.Matrix.AddDimacsClause(1, 2)
+	f.Matrix.AddDimacsClause(3, -1)
+	pr, err := Preprocess(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Decided || pr.Value {
+		t.Fatal("all-universal clause must yield UNSAT")
+	}
+}
+
+func TestTautologyRemoved(t *testing.T) {
+	f := dqbf.New()
+	f.AddUniversal(1)
+	f.AddExistential(2, 1)
+	f.Matrix.AddDimacsClause(-1, 1) // tautology — must not become empty
+	f.Matrix.AddDimacsClause(2, -1)
+	pr, err := Preprocess(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Decided && !pr.Value {
+		t.Fatal("tautology mishandled as empty clause")
+	}
+	for _, c := range f.Matrix.Clauses {
+		if len(c) == 0 {
+			t.Fatal("empty clause present")
+		}
+	}
+}
+
+func TestEquivalenceExistExist(t *testing.T) {
+	// y2 ≡ y3 with D_y2 ⊆ D_y3: y3 replaced by y2.
+	f := dqbf.New()
+	f.AddUniversal(1)
+	f.AddUniversal(2)
+	f.AddExistential(3, 1)
+	f.AddExistential(4, 1, 2)
+	f.Matrix.AddDimacsClause(-3, 4)
+	f.Matrix.AddDimacsClause(3, -4)
+	f.Matrix.AddDimacsClause(3, 4, 1)
+	pr, err := Preprocess(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Equivalences != 1 {
+		t.Fatalf("Equivalences = %d, want 1", pr.Equivalences)
+	}
+	if f.IsExistential(4) {
+		t.Fatal("y4 should have been substituted away")
+	}
+}
+
+func TestEquivalenceExistUnivUnsatWhenNotInDeps(t *testing.T) {
+	// y ≡ x with x ∉ D_y: unsatisfiable.
+	f := dqbf.New()
+	f.AddUniversal(1)
+	f.AddUniversal(2)
+	f.AddExistential(3, 2)
+	f.Matrix.AddDimacsClause(-3, 1)
+	f.Matrix.AddDimacsClause(3, -1)
+	pr, err := Preprocess(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Decided || pr.Value {
+		t.Fatal("y≡x with x∉D_y must be UNSAT")
+	}
+}
+
+func TestEquivalenceUnivUnivUnsat(t *testing.T) {
+	f := dqbf.New()
+	f.AddUniversal(1)
+	f.AddUniversal(2)
+	f.AddExistential(3, 1, 2)
+	f.Matrix.AddDimacsClause(-1, 2)
+	f.Matrix.AddDimacsClause(1, -2)
+	f.Matrix.AddDimacsClause(3, 1)
+	pr, err := Preprocess(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Decided || pr.Value {
+		t.Fatal("two equivalent universals must be UNSAT")
+	}
+}
+
+func TestEquivalenceIncomparableSkipped(t *testing.T) {
+	// y1(x1) ≡ y2(x2): incomparable dependency sets — no substitution.
+	f := dqbf.New()
+	f.AddUniversal(1)
+	f.AddUniversal(2)
+	f.AddExistential(3, 1)
+	f.AddExistential(4, 2)
+	f.Matrix.AddDimacsClause(-3, 4)
+	f.Matrix.AddDimacsClause(3, -4)
+	f.Matrix.AddDimacsClause(3, 4, 1, 2)
+	pr, err := Preprocess(f, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Equivalences != 0 {
+		t.Fatal("incomparable equivalence must be skipped")
+	}
+}
+
+func TestGateDetectionAnd(t *testing.T) {
+	// g ↔ a ∧ b, Tseitin clauses, g existential with full deps.
+	f := dqbf.New()
+	f.AddUniversal(1) // a
+	f.AddUniversal(2) // b
+	f.AddExistential(3, 1, 2)
+	f.AddExistential(4, 1) // another var so the formula isn't trivial
+	f.Matrix.AddDimacsClause(-3, 1)
+	f.Matrix.AddDimacsClause(-3, 2)
+	f.Matrix.AddDimacsClause(3, -1, -2)
+	f.Matrix.AddDimacsClause(3, 4)
+	pr, err := Preprocess(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Gates) != 1 {
+		t.Fatalf("gates = %v", pr.Gates)
+	}
+	g := pr.Gates[0]
+	if g.Kind != GateAnd || g.Out != 3 || g.OutNeg {
+		t.Fatalf("gate = %v", g)
+	}
+	if gateFanins(g).Len() != 2 {
+		t.Fatalf("gate fanins = %v", gateFanins(g))
+	}
+	if f.IsExistential(3) {
+		t.Fatal("gate output should leave the prefix")
+	}
+	// Defining clauses removed, other clause remains.
+	if len(f.Matrix.Clauses) != 1 {
+		t.Fatalf("clauses after gate extraction: %v", f.Matrix.Clauses)
+	}
+}
+
+func TestGateDetectionOrViaNegOutput(t *testing.T) {
+	// g ↔ a ∨ b is ¬g ↔ ¬a ∧ ¬b: clauses (g ∨ ¬a... ) pattern with the
+	// output appearing negative in the long clause.
+	f := dqbf.New()
+	f.AddUniversal(1)
+	f.AddUniversal(2)
+	f.AddExistential(3, 1, 2)
+	f.AddExistential(4, 1)
+	f.Matrix.AddDimacsClause(3, -1)
+	f.Matrix.AddDimacsClause(3, -2)
+	f.Matrix.AddDimacsClause(-3, 1, 2)
+	f.Matrix.AddDimacsClause(3, 4, 1)
+	pr, err := Preprocess(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Gates) != 1 {
+		t.Fatalf("gates = %v", pr.Gates)
+	}
+	if !pr.Gates[0].OutNeg {
+		t.Fatalf("expected OutNeg (OR encoded as negated AND), got %v", pr.Gates[0])
+	}
+}
+
+func TestGateDetectionXor(t *testing.T) {
+	f := dqbf.New()
+	f.AddUniversal(1)
+	f.AddUniversal(2)
+	f.AddExistential(3, 1, 2)
+	f.AddExistential(4, 1)
+	f.Matrix.AddDimacsClause(-3, 1, 2)
+	f.Matrix.AddDimacsClause(-3, -1, -2)
+	f.Matrix.AddDimacsClause(3, 1, -2)
+	f.Matrix.AddDimacsClause(3, -1, 2)
+	f.Matrix.AddDimacsClause(3, 4, 2)
+	pr, err := Preprocess(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Gates) != 1 || pr.Gates[0].Kind != GateXor {
+		t.Fatalf("gates = %v", pr.Gates)
+	}
+}
+
+func TestGateDetectionRejectsBadDeps(t *testing.T) {
+	// Gate output with too small a dependency set must not be extracted.
+	f := dqbf.New()
+	f.AddUniversal(1)
+	f.AddUniversal(2)
+	f.AddExistential(3, 1) // depends only on x1 but gate inputs use x2
+	f.AddExistential(4, 1)
+	f.Matrix.AddDimacsClause(-3, 1)
+	f.Matrix.AddDimacsClause(-3, 2)
+	f.Matrix.AddDimacsClause(3, -1, -2)
+	f.Matrix.AddDimacsClause(3, 4, 2)
+	pr, err := Preprocess(f, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pr.Gates) != 0 {
+		t.Fatalf("invalid gate extracted: %v", pr.Gates)
+	}
+}
+
+func TestPreprocessPreservesSemanticsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	for iter := 0; iter < 200; iter++ {
+		f := randomDQBF(rng, 1+rng.Intn(3), 1+rng.Intn(3), 2+rng.Intn(10))
+		want, err := dqbf.BruteForce(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		work := f.Clone()
+		pr, err := Preprocess(work, iter%2 == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got bool
+		if pr.Decided {
+			got = pr.Value
+		} else {
+			// Re-attach gate outputs as defined existentials for brute
+			// force: rebuild CNF from gates.
+			rebuilt := rebuildWithGates(work, pr.Gates)
+			got, err = dqbf.BruteForce(rebuilt)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got != want {
+			t.Fatalf("iter %d: preprocess changed verdict: got %v want %v\noriginal %v %v\nafter %v %v gates %v",
+				iter, got, want, f, f.Matrix.Clauses, work, work.Matrix.Clauses, pr.Gates)
+		}
+	}
+}
+
+// rebuildWithGates re-encodes detected gates as CNF and restores the gate
+// outputs to the prefix, producing a formula equivalent to the preprocessed
+// one for brute-force checking.
+func rebuildWithGates(f *dqbf.Formula, gates []Gate) *dqbf.Formula {
+	g := f.Clone()
+	for _, gt := range gates {
+		// Restore the output variable with dependencies = union of input deps
+		// (a legal over-approximation is the full universal set; use that).
+		g.AddExistential(gt.Out, g.Univ...)
+		out := cnf.NewLit(gt.Out, gt.OutNeg)
+		switch gt.Kind {
+		case GateAnd:
+			long := cnf.Clause{out}
+			for _, in := range gt.Ins {
+				g.Matrix.AddClause(out.Not(), in)
+				long = append(long, in.Not())
+			}
+			g.Matrix.AddClause(long...)
+		case GateXor:
+			a, b := gt.Ins[0], gt.Ins[1]
+			g.Matrix.AddClause(out.Not(), a, b)
+			g.Matrix.AddClause(out.Not(), a.Not(), b.Not())
+			g.Matrix.AddClause(out, a, b.Not())
+			g.Matrix.AddClause(out, a.Not(), b)
+		}
+	}
+	return g
+}

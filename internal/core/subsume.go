@@ -1,0 +1,137 @@
+package core
+
+import "repro/internal/cnf"
+
+// Subsumption and self-subsuming resolution (clause strengthening) — the
+// "more sophisticated preprocessing techniques" the paper's conclusion
+// names as future work. Both operate purely on the propositional matrix:
+// subsumption removes clauses implied by a subset clause, and self-subsuming
+// resolution removes a literal l from C∨l when some D∨¬l with D ⊆ C exists
+// (the resolvent subsumes the original). Since both only replace the matrix
+// by a propositionally equivalent one, they are sound for any Henkin prefix.
+
+// clauseSig computes a Bloom-style signature of the clause's variables; a
+// subset clause always has a subset signature, so sig(C) &^ sig(D) != 0
+// refutes C ⊆ D cheaply.
+func clauseSig(c cnf.Clause) uint64 {
+	var s uint64
+	for _, l := range c {
+		s |= 1 << (uint(l.Var()) % 64)
+	}
+	return s
+}
+
+// subsumes reports whether every literal of c occurs in d.
+func subsumes(c, d cnf.Clause) bool {
+	if len(c) > len(d) {
+		return false
+	}
+	for _, l := range c {
+		if !d.Has(l) {
+			return false
+		}
+	}
+	return true
+}
+
+// subsumeOnce removes subsumed clauses; returns the number removed.
+func (p *preprocessor) subsumeOnce() int {
+	m := p.f.Matrix
+	n := len(m.Clauses)
+	sigs := make([]uint64, n)
+	for i, c := range m.Clauses {
+		sigs[i] = clauseSig(c)
+	}
+	dead := make([]bool, n)
+	removed := 0
+	for i := 0; i < n; i++ {
+		if dead[i] {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			if i == j || dead[j] || dead[i] {
+				continue
+			}
+			if sigs[i]&^sigs[j] != 0 {
+				continue
+			}
+			if len(m.Clauses[i]) < len(m.Clauses[j]) ||
+				(len(m.Clauses[i]) == len(m.Clauses[j]) && i < j) {
+				if subsumes(m.Clauses[i], m.Clauses[j]) {
+					dead[j] = true
+					removed++
+				}
+			}
+		}
+	}
+	if removed > 0 {
+		out := m.Clauses[:0]
+		for i, c := range m.Clauses {
+			if !dead[i] {
+				out = append(out, c)
+			}
+		}
+		m.Clauses = out
+	}
+	return removed
+}
+
+// strengthenOnce applies self-subsuming resolution: for clauses C∨l and
+// D∨¬l with D ⊆ C, the literal l is deleted from C∨l. Returns the number of
+// literals removed.
+func (p *preprocessor) strengthenOnce() int {
+	m := p.f.Matrix
+	removed := 0
+	// Occurrence lists per literal.
+	occ := make(map[cnf.Lit][]int)
+	for i, c := range m.Clauses {
+		for _, l := range c {
+			occ[l] = append(occ[l], i)
+		}
+	}
+	for i := 0; i < len(m.Clauses); i++ {
+		c := m.Clauses[i]
+		for li := 0; li < len(c); li++ {
+			l := c[li]
+			strengthened := false
+			for _, j := range occ[l.Not()] {
+				if j == i {
+					continue
+				}
+				d := m.Clauses[j]
+				if len(d) > len(c) {
+					continue
+				}
+				// D \ {¬l} ⊆ C \ {l}?
+				ok := true
+				for _, dl := range d {
+					if dl == l.Not() {
+						continue
+					}
+					if dl == l || !c.Has(dl) {
+						ok = false
+						break
+					}
+				}
+				if !ok || !d.Has(l.Not()) {
+					continue
+				}
+				// Remove l from c.
+				c = append(c[:li], c[li+1:]...)
+				m.Clauses[i] = c
+				removed++
+				strengthened = true
+				break
+			}
+			if strengthened {
+				li-- // re-examine the literal now at position li
+			}
+		}
+		if len(c) == 0 {
+			p.res.Decided = true
+			p.res.Value = false
+			return removed
+		}
+	}
+	return removed
+}

@@ -1,0 +1,72 @@
+package dqbf
+
+import (
+	"fmt"
+
+	"repro/internal/cnf"
+)
+
+// BruteForce decides the DQBF by enumerating all combinations of Skolem
+// function tables (Definition 2): for each existential y, a truth table over
+// the assignments of D_y. It is exponential in Σ_y 2^|D_y| and in the number
+// of universals, and refuses formulas where that blows up; it exists purely
+// as ground truth for the real solvers in tests.
+func BruteForce(f *Formula) (bool, error) {
+	totalBits := 0
+	for _, y := range f.Exist {
+		d := f.Deps[y].Len()
+		if d > 10 {
+			return false, fmt.Errorf("dqbf: dependency set of %d too large for brute force", y)
+		}
+		totalBits += 1 << d
+	}
+	if totalBits > 24 {
+		return false, fmt.Errorf("dqbf: %d Skolem table bits too many for brute force", totalBits)
+	}
+	if len(f.Univ) > 16 {
+		return false, fmt.Errorf("dqbf: %d universals too many for brute force", len(f.Univ))
+	}
+
+	// Bit layout: for each existential (in order), a contiguous block of
+	// 2^|D_y| table bits indexed by the assignment of D_y (packed in
+	// ascending variable order).
+	type entry struct {
+		y      cnf.Var
+		deps   []cnf.Var
+		offset int
+	}
+	var entries []entry
+	off := 0
+	for _, y := range f.Exist {
+		deps := f.Deps[y].Vars()
+		entries = append(entries, entry{y: y, deps: deps, offset: off})
+		off += 1 << len(deps)
+	}
+
+	assign := cnf.NewAssignment(f.Matrix.NumVars)
+	nUniv := len(f.Univ)
+	for tables := uint64(0); tables < 1<<totalBits; tables++ {
+		ok := true
+		for ubits := 0; ubits < 1<<nUniv && ok; ubits++ {
+			for i, x := range f.Univ {
+				assign.Set(x, ubits&(1<<i) != 0)
+			}
+			for _, e := range entries {
+				idx := 0
+				for i, d := range e.deps {
+					if assign.Get(d) {
+						idx |= 1 << i
+					}
+				}
+				assign.Set(e.y, tables&(1<<(e.offset+idx)) != 0)
+			}
+			if !f.Matrix.Eval(assign) {
+				ok = false
+			}
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}

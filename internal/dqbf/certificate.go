@@ -1,0 +1,156 @@
+package dqbf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// Certificate is a collection of Skolem function tables witnessing the
+// satisfaction of a DQBF (Definition 2): for every existential variable y, a
+// truth table over the assignments of D_y, stored sparsely as a map from
+// projection keys to values. Projections absent from a table take the
+// Default value (false unless overridden). A certificate is the natural
+// output of instantiation-based solvers and can be checked independently
+// with one SAT call (the certification perspective of Balabanov et al.).
+type Certificate struct {
+	// Tables maps each existential variable to its sparse truth table. Keys
+	// are produced by ProjectionKey.
+	Tables map[cnf.Var]map[string]bool
+	// Defaults optionally overrides the off-table value per variable.
+	Defaults map[cnf.Var]bool
+}
+
+// ProjectionKey renders the projection of a universal assignment onto the
+// ordered dependency set: one byte '0' or '1' per dependency variable in
+// ascending variable order.
+func ProjectionKey(deps []cnf.Var, value func(cnf.Var) bool) string {
+	var b strings.Builder
+	for _, d := range deps {
+		if value(d) {
+			b.WriteByte('1')
+		} else {
+			b.WriteByte('0')
+		}
+	}
+	return b.String()
+}
+
+// Value looks up the certificate value of y under the given universal
+// assignment.
+func (c *Certificate) Value(f *Formula, y cnf.Var, assign func(cnf.Var) bool) bool {
+	deps := f.Deps[y].Vars()
+	key := ProjectionKey(deps, assign)
+	if tab, ok := c.Tables[y]; ok {
+		if v, ok := tab[key]; ok {
+			return v
+		}
+	}
+	return c.Defaults[y]
+}
+
+// Eval evaluates the matrix under a universal assignment with every
+// existential replaced by its certificate value.
+func (c *Certificate) Eval(f *Formula, assign cnf.Assignment) bool {
+	full := assign
+	for _, y := range f.Exist {
+		full.Set(y, c.Value(f, y, func(v cnf.Var) bool { return assign.Get(v) }))
+	}
+	return f.Matrix.Eval(full)
+}
+
+// Verify checks the certificate against the formula with a single SAT call:
+// it searches for a universal assignment falsifying the matrix under the
+// certified Skolem functions. A nil error means the certificate is valid
+// (the DQBF is satisfied and these tables witness it).
+func (c *Certificate) Verify(f *Formula) error {
+	s := sat.New()
+	vmap := make(map[cnf.Var]cnf.Var)
+	varOf := func(v cnf.Var) cnf.Var {
+		w, ok := vmap[v]
+		if !ok {
+			w = s.NewVar()
+			vmap[v] = w
+		}
+		return w
+	}
+
+	// Pin every existential to its certified function:
+	// y ↔ default ⊕ (⋁_{p : table[p] ≠ default} match_p).
+	for _, y := range f.Exist {
+		deps := f.Deps[y].Vars()
+		yl := cnf.PosLit(varOf(y))
+		def := c.Defaults[y]
+		tab := c.Tables[y]
+		var flips []string
+		for k, v := range tab {
+			if len(k) != len(deps) {
+				return fmt.Errorf("dqbf: certificate key %q for variable %d has wrong arity (deps %v)", k, y, deps)
+			}
+			if v != def {
+				flips = append(flips, k)
+			}
+		}
+		sort.Strings(flips)
+		if len(flips) == 0 {
+			// Constant function.
+			s.AddClause(yl.XorSign(!def))
+			continue
+		}
+		// aux_p ↔ match_p; y ↔ def ⊕ ⋁ aux.
+		var auxes []cnf.Lit
+		for _, k := range flips {
+			aux := cnf.PosLit(s.NewVar())
+			long := []cnf.Lit{aux}
+			for i, d := range deps {
+				dl := cnf.NewLit(varOf(d), k[i] == '0')
+				s.AddClause(aux.Not(), dl)
+				long = append(long, dl.Not())
+			}
+			s.AddClause(long...)
+			auxes = append(auxes, aux)
+		}
+		// flipLit is true iff some aux holds.
+		flip := cnf.PosLit(s.NewVar())
+		or := append([]cnf.Lit{flip.Not()}, auxes...)
+		s.AddClause(or...)
+		for _, aux := range auxes {
+			s.AddClause(flip, aux.Not())
+		}
+		// y ↔ def ⊕ flip.
+		yv := yl.XorSign(def) // literal that must equal flip
+		s.AddClause(yv.Not(), flip)
+		s.AddClause(yv, flip.Not())
+	}
+
+	// Some clause violated?
+	var sel []cnf.Lit
+	for _, cl := range f.Matrix.Clauses {
+		sl := cnf.PosLit(s.NewVar())
+		for _, l := range cl {
+			s.AddClause(sl.Not(), cnf.NewLit(varOf(l.Var()), l.Neg()).Not())
+		}
+		sel = append(sel, sl)
+	}
+	if len(sel) == 0 {
+		return nil
+	}
+	s.AddClause(sel...)
+
+	if s.Solve() != sat.Sat {
+		return nil
+	}
+	m := s.Model()
+	var parts []string
+	for _, x := range f.Univ {
+		val := 0
+		if w, ok := vmap[x]; ok && m.Get(w) {
+			val = 1
+		}
+		parts = append(parts, fmt.Sprintf("%d=%d", x, val))
+	}
+	return fmt.Errorf("dqbf: certificate falsified at universal assignment {%s}", strings.Join(parts, ","))
+}

@@ -1,0 +1,191 @@
+package dqbf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/cnf"
+)
+
+// ParseDQDIMACS reads a formula in DQDIMACS format, the DQBF extension of
+// QDIMACS used by iDQ and HQS:
+//
+//	p cnf <vars> <clauses>
+//	a x1 x2 ... 0        universal variables
+//	e y1 y2 ... 0        existentials depending on all universals so far
+//	d y x1 x2 ... 0      existential y with explicit dependency set
+//	<clauses>
+//
+// Plain QDIMACS files (alternating a/e lines) are therefore parsed as the
+// equivalent DQBF. Variables not mentioned in the prefix but used in the
+// matrix are treated as outermost existentials (empty dependency set), the
+// QDIMACS convention for free variables.
+func ParseDQDIMACS(r io.Reader) (*Formula, error) {
+	f := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	var cur cnf.Clause
+	var universalsSoFar []cnf.Var
+	lineNo := 0
+	prefixDone := false
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "c") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "p":
+			if len(fields) < 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("dqdimacs line %d: malformed problem line", lineNo)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("dqdimacs line %d: %v", lineNo, err)
+			}
+			if n > f.Matrix.NumVars {
+				f.Matrix.NumVars = n
+			}
+		case "a", "e", "d":
+			if prefixDone {
+				return nil, fmt.Errorf("dqdimacs line %d: quantifier line after clauses", lineNo)
+			}
+			vars, err := parseVarLine(fields[1:], lineNo)
+			if err != nil {
+				return nil, err
+			}
+			switch fields[0] {
+			case "a":
+				for _, v := range vars {
+					f.AddUniversal(v)
+					universalsSoFar = append(universalsSoFar, v)
+				}
+			case "e":
+				for _, v := range vars {
+					f.AddExistential(v, universalsSoFar...)
+				}
+			case "d":
+				if len(vars) == 0 {
+					return nil, fmt.Errorf("dqdimacs line %d: empty d line", lineNo)
+				}
+				f.AddExistential(vars[0], vars[1:]...)
+			}
+		default:
+			prefixDone = true
+			for _, tok := range fields {
+				d, err := strconv.Atoi(tok)
+				if err != nil {
+					return nil, fmt.Errorf("dqdimacs line %d: bad literal %q", lineNo, tok)
+				}
+				if d == 0 {
+					f.Matrix.Clauses = append(f.Matrix.Clauses, cur)
+					cur = nil
+					continue
+				}
+				l := cnf.LitFromDimacs(d)
+				if int(l.Var()) > f.Matrix.NumVars {
+					f.Matrix.NumVars = int(l.Var())
+				}
+				cur = append(cur, l)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(cur) > 0 {
+		f.Matrix.Clauses = append(f.Matrix.Clauses, cur)
+	}
+	// Free matrix variables become outermost existentials.
+	quantified := NewVarSet(f.Univ...).Union(NewVarSet(f.Exist...))
+	var free []cnf.Var
+	seen := NewVarSet()
+	for _, c := range f.Matrix.Clauses {
+		for _, l := range c {
+			v := l.Var()
+			if !quantified.Has(v) && !seen.Has(v) {
+				seen.Add(v)
+				free = append(free, v)
+			}
+		}
+	}
+	sort.Slice(free, func(i, j int) bool { return free[i] < free[j] })
+	for _, v := range free {
+		f.AddExistential(v)
+	}
+	return f, nil
+}
+
+func parseVarLine(toks []string, lineNo int) ([]cnf.Var, error) {
+	var out []cnf.Var
+	for _, tok := range toks {
+		d, err := strconv.Atoi(tok)
+		if err != nil {
+			return nil, fmt.Errorf("dqdimacs line %d: bad variable %q", lineNo, tok)
+		}
+		if d == 0 {
+			break
+		}
+		if d < 0 {
+			return nil, fmt.Errorf("dqdimacs line %d: negative variable %d in prefix", lineNo, d)
+		}
+		out = append(out, cnf.Var(d))
+	}
+	return out, nil
+}
+
+// ParseDQDIMACSString parses a DQDIMACS formula from a string.
+func ParseDQDIMACSString(s string) (*Formula, error) {
+	return ParseDQDIMACS(strings.NewReader(s))
+}
+
+// WriteDQDIMACS writes the formula in DQDIMACS format. Existentials whose
+// dependency set equals the full universal set are emitted with an "e" line
+// after all universals; all others get explicit "d" lines.
+func (f *Formula) WriteDQDIMACS(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", f.Matrix.NumVars, len(f.Matrix.Clauses))
+	if len(f.Univ) > 0 {
+		fmt.Fprint(bw, "a")
+		for _, v := range f.Univ {
+			fmt.Fprintf(bw, " %d", v)
+		}
+		fmt.Fprintln(bw, " 0")
+	}
+	all := f.UniversalSet()
+	var full []cnf.Var
+	for _, y := range f.Exist {
+		if f.Deps[y].Equal(all) {
+			full = append(full, y)
+		}
+	}
+	if len(full) > 0 {
+		fmt.Fprint(bw, "e")
+		for _, v := range full {
+			fmt.Fprintf(bw, " %d", v)
+		}
+		fmt.Fprintln(bw, " 0")
+	}
+	for _, y := range f.Exist {
+		if f.Deps[y].Equal(all) {
+			continue
+		}
+		fmt.Fprintf(bw, "d %d", y)
+		for _, x := range f.Deps[y].Vars() {
+			fmt.Fprintf(bw, " %d", x)
+		}
+		fmt.Fprintln(bw, " 0")
+	}
+	for _, c := range f.Matrix.Clauses {
+		for _, l := range c {
+			fmt.Fprintf(bw, "%d ", l.Dimacs())
+		}
+		fmt.Fprintln(bw, "0")
+	}
+	return bw.Flush()
+}

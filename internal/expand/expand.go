@@ -1,0 +1,149 @@
+// Package expand implements DQBF solving by full universal expansion:
+// the matrix is instantiated for every assignment of the universal
+// variables, with each existential variable y replaced per instance by a
+// copy indexed by the projection of the assignment onto D_y (so instances
+// agreeing on D_y share the copy), and the resulting propositional formula
+// is handed to the CDCL SAT solver.
+//
+// The expansion is the semantic definition made executable — the full
+// grounding is equisatisfiable with the DQBF — and doubles as the
+// conceptual limit case of both elimination (eliminating *every* universal
+// variable, the ICCD 2013 predecessor strategy the paper improves on) and
+// instantiation (iDQ with eager instead of lazy grounding). It is
+// exponential in the number of universals and serves as a reference solver
+// for cross-checking and as an ablation baseline.
+package expand
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+	"repro/internal/sat"
+)
+
+// Options configure the solver.
+type Options struct {
+	// MaxUniversals refuses formulas whose expansion would be too large;
+	// 0 means the default of 20.
+	MaxUniversals int
+	// Timeout bounds wall-clock time; 0 means unlimited.
+	Timeout time.Duration
+}
+
+// Stats collects counters.
+type Stats struct {
+	Instances      int // universal assignments expanded
+	Copies         int // existential copies created
+	GroundClauses  int
+	SATConflicts   int64
+	TotalTime      time.Duration
+	SkippedClauses int // clause instances satisfied by universal literals
+}
+
+// Result is the outcome of a Solve call.
+type Result struct {
+	Sat   bool
+	Stats Stats
+}
+
+// Solver decides DQBF by eager full expansion.
+type Solver struct {
+	Opt Options
+}
+
+// New returns a solver with the given options.
+func New(opt Options) *Solver { return &Solver{Opt: opt} }
+
+// Solve decides the DQBF. It returns an error when the expansion limit or
+// deadline is exceeded, or when the formula has unquantified variables.
+func (s *Solver) Solve(f *dqbf.Formula) (Result, error) {
+	start := time.Now()
+	res := Result{}
+	defer func() { res.Stats.TotalTime = time.Since(start) }()
+
+	limit := s.Opt.MaxUniversals
+	if limit <= 0 {
+		limit = 20
+	}
+	if len(f.Univ) > limit {
+		return res, fmt.Errorf("expand: %d universal variables exceed limit %d", len(f.Univ), limit)
+	}
+	var deadline time.Time
+	if s.Opt.Timeout > 0 {
+		deadline = start.Add(s.Opt.Timeout)
+	}
+
+	solver := sat.New()
+	uidx := make(map[cnf.Var]int, len(f.Univ))
+	for i, x := range f.Univ {
+		uidx[x] = i
+	}
+	copies := make(map[string]cnf.Var) // "y@projection" -> SAT var
+	copyOf := func(y cnf.Var, a []bool) cnf.Var {
+		deps := f.Deps[y].Vars()
+		var b strings.Builder
+		fmt.Fprintf(&b, "%d@", y)
+		for _, d := range deps {
+			idx := uidx[d]
+			if a[idx] {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		k := b.String()
+		v, ok := copies[k]
+		if !ok {
+			v = solver.NewVar()
+			copies[k] = v
+			res.Stats.Copies++
+		}
+		return v
+	}
+
+	n := len(f.Univ)
+	a := make([]bool, n)
+	for bits := 0; bits < 1<<n; bits++ {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return res, fmt.Errorf("expand: timeout after %d of %d instances", bits, 1<<n)
+		}
+		for i := range a {
+			a[i] = bits&(1<<i) != 0
+		}
+		res.Stats.Instances++
+		for _, c := range f.Matrix.Clauses {
+			ground := make([]cnf.Lit, 0, len(c))
+			satisfied := false
+			for _, l := range c {
+				v := l.Var()
+				if idx, isU := uidx[v]; isU {
+					if a[idx] != l.Neg() {
+						satisfied = true
+						break
+					}
+					continue
+				}
+				if !f.IsExistential(v) {
+					return res, fmt.Errorf("expand: unquantified variable %d", v)
+				}
+				ground = append(ground, cnf.NewLit(copyOf(v, a), l.Neg()))
+			}
+			if satisfied {
+				res.Stats.SkippedClauses++
+				continue
+			}
+			res.Stats.GroundClauses++
+			if len(ground) == 0 || !solver.AddClause(ground...) {
+				res.Sat = false
+				return res, nil
+			}
+		}
+	}
+	st := solver.Solve()
+	res.Stats.SATConflicts = solver.Stats.Conflicts
+	res.Sat = st == sat.Sat
+	return res, nil
+}

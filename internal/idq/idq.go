@@ -1,0 +1,326 @@
+// Package idq implements an instantiation-based DQBF solver in the spirit of
+// iDQ (Fröhlich et al., POS 2014), the baseline HQS is compared against in
+// the paper's evaluation.
+//
+// iDQ grounds the DQBF clause-wise using Inst-Gen; this reproduction uses the
+// same algorithmic family — lazy grounding of the universal expansion driven
+// by a SAT oracle — in its counterexample-guided form:
+//
+//  1. Maintain a set A of universal assignments. The abstraction is the SAT
+//     formula ⋀_{a∈A} φ[x:=a] where each existential y is replaced by an
+//     instantiation variable y@(a|D_y) — two assignments share an
+//     instantiation variable exactly when they agree on D_y, which encodes
+//     the dependency restrictions (the full expansion over all a is
+//     equisatisfiable with the DQBF).
+//  2. If the abstraction is unsatisfiable, so is the DQBF.
+//  3. Otherwise the abstraction model induces partial Skolem tables
+//     (default 0 off-table). A verification SAT call searches for a
+//     universal assignment falsifying the matrix under those tables; if none
+//     exists the DQBF is satisfied, otherwise the counterexample joins A and
+//     the loop repeats. Every counterexample is new, so the loop terminates
+//     after at most 2^|U| refinements.
+//
+// Like iDQ, the solver is cheap on instances refuted by a few instantiations
+// and degrades exponentially when many universal assignments must be
+// enumerated — the qualitative behaviour Table I and Fig. 4 report.
+package idq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+	"repro/internal/sat"
+)
+
+// Status mirrors the solver outcome classification of package core.
+type Status int
+
+const (
+	// Solved means a definitive verdict was reached.
+	Solved Status = iota
+	// Timeout means the wall-clock budget was exhausted.
+	Timeout
+	// Memout means the instantiation budget was exhausted.
+	Memout
+)
+
+func (s Status) String() string {
+	switch s {
+	case Solved:
+		return "solved"
+	case Timeout:
+		return "timeout"
+	case Memout:
+		return "memout"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Options configure the solver.
+type Options struct {
+	// Timeout bounds wall-clock time; 0 means unlimited.
+	Timeout time.Duration
+	// MaxInstantiations bounds the number of instantiated clauses in the
+	// abstraction (the analogue of iDQ's memory-outs); 0 means unlimited.
+	MaxInstantiations int
+}
+
+// Stats collects counters.
+type Stats struct {
+	Iterations     int
+	Instantiations int
+	AbstractionSAT int // abstraction oracle calls
+	VerifySAT      int // verification oracle calls
+	TableEntries   int
+	TotalTime      time.Duration
+}
+
+// Result is the outcome of a Solve call.
+type Result struct {
+	Status Status
+	Sat    bool
+	Stats  Stats
+	// Certificate holds the Skolem tables witnessing a Sat verdict (nil
+	// otherwise); any off-table completion is valid, so the default-false
+	// completion is certified. It can be checked independently with
+	// Certificate.Verify.
+	Certificate *dqbf.Certificate
+}
+
+// Solver is the instantiation-based DQBF solver.
+type Solver struct {
+	Opt Options
+}
+
+// New returns a solver with the given options.
+func New(opt Options) *Solver { return &Solver{Opt: opt} }
+
+// projKey identifies a projection of a universal assignment onto a
+// dependency set.
+type projKey struct {
+	y   cnf.Var
+	key string
+}
+
+// Solve decides the DQBF. The input is not modified.
+func (s *Solver) Solve(f *dqbf.Formula) Result {
+	start := time.Now()
+	res := Result{}
+	defer func() { res.Stats.TotalTime = time.Since(start) }()
+
+	var deadline time.Time
+	if s.Opt.Timeout > 0 {
+		deadline = start.Add(s.Opt.Timeout)
+	}
+	expired := func() bool {
+		return !deadline.IsZero() && time.Now().After(deadline)
+	}
+
+	univ := f.Univ
+	abs := sat.New()
+	instVar := make(map[projKey]cnf.Var)
+
+	instOf := func(y cnf.Var, a map[cnf.Var]bool) cnf.Var {
+		deps := f.Deps[y].Vars()
+		var b strings.Builder
+		for _, d := range deps {
+			if a[d] {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		k := projKey{y, b.String()}
+		v, ok := instVar[k]
+		if !ok {
+			v = abs.NewVar()
+			instVar[k] = v
+		}
+		return v
+	}
+
+	// addInstance grounds every matrix clause under assignment a and adds it
+	// to the abstraction. Returns false if an empty clause arises (UNSAT).
+	addInstance := func(a map[cnf.Var]bool) bool {
+		for _, c := range f.Matrix.Clauses {
+			ground := make([]cnf.Lit, 0, len(c))
+			satisfied := false
+			for _, l := range c {
+				v := l.Var()
+				if val, isU := a[v]; isU {
+					if val != l.Neg() {
+						satisfied = true
+						break
+					}
+					continue // false universal literal drops out
+				}
+				if !f.IsExistential(v) {
+					panic(fmt.Sprintf("idq: unquantified variable %d in matrix", v))
+				}
+				ground = append(ground, cnf.NewLit(instOf(v, a), l.Neg()))
+			}
+			if satisfied {
+				continue
+			}
+			res.Stats.Instantiations++
+			if len(ground) == 0 {
+				return false
+			}
+			if !abs.AddClause(ground...) {
+				return false
+			}
+		}
+		return true
+	}
+
+	seen := make(map[string]bool) // guard against repeated counterexamples
+	keyOf := func(a map[cnf.Var]bool) string {
+		var b strings.Builder
+		for _, x := range univ {
+			if a[x] {
+				b.WriteByte('1')
+			} else {
+				b.WriteByte('0')
+			}
+		}
+		return b.String()
+	}
+
+	for {
+		res.Stats.Iterations++
+		if expired() {
+			res.Status = Timeout
+			return res
+		}
+		if s.Opt.MaxInstantiations > 0 && res.Stats.Instantiations > s.Opt.MaxInstantiations {
+			res.Status = Memout
+			return res
+		}
+
+		// Step 1: abstraction.
+		res.Stats.AbstractionSAT++
+		st := abs.Solve()
+		if st == sat.Unsat {
+			res.Status = Solved
+			res.Sat = false
+			return res
+		}
+		model := abs.Model()
+
+		// Step 2: build candidate Skolem tables from the model.
+		tables := make(map[cnf.Var]map[string]bool)
+		for k, v := range instVar {
+			t := tables[k.y]
+			if t == nil {
+				t = make(map[string]bool)
+				tables[k.y] = t
+			}
+			if model == nil {
+				t[k.key] = false
+			} else {
+				t[k.key] = model.Get(v)
+			}
+		}
+		res.Stats.TableEntries = len(instVar)
+
+		// Step 3: verification — search a universal assignment falsifying
+		// the matrix under the tables.
+		cex, found := s.verify(f, tables)
+		res.Stats.VerifySAT++
+		if !found {
+			res.Status = Solved
+			res.Sat = true
+			res.Certificate = &dqbf.Certificate{Tables: tables}
+			return res
+		}
+		k := keyOf(cex)
+		if seen[k] {
+			// Cannot happen for a correct abstraction; guards nontermination.
+			panic("idq: repeated counterexample " + k)
+		}
+		seen[k] = true
+		if !addInstance(cex) {
+			res.Status = Solved
+			res.Sat = false
+			return res
+		}
+	}
+}
+
+// verify searches for a universal assignment under which the matrix is
+// falsified when every existential follows its candidate table. Table
+// entries pin the existential's value via one implication clause each
+// (match_p → y = v); projections outside the table are unconstrained — any
+// per-projection completion is a legal Skolem function, so a verification
+// failure on a free entry is a genuine refinement direction, and an
+// unsatisfiable query proves every completion of the tables correct.
+func (s *Solver) verify(f *dqbf.Formula, tables map[cnf.Var]map[string]bool) (map[cnf.Var]bool, bool) {
+	vs := sat.New()
+	vmap := make(map[cnf.Var]cnf.Var) // original var -> verification SAT var
+	varOf := func(v cnf.Var) cnf.Var {
+		w, ok := vmap[v]
+		if !ok {
+			w = vs.NewVar()
+			vmap[v] = w
+		}
+		return w
+	}
+	litOf := func(l cnf.Lit) cnf.Lit {
+		return cnf.NewLit(varOf(l.Var()), l.Neg())
+	}
+	// Allocate universal variables up front so the model covers them even
+	// when a universal occurs in no clause or dependency set.
+	for _, x := range f.Univ {
+		varOf(x)
+	}
+
+	// One clause per table entry: (¬match_p ∨ y=v).
+	for _, y := range f.Exist {
+		deps := f.Deps[y].Vars()
+		yl := cnf.PosLit(varOf(y))
+		tab := tables[y]
+		keys := make([]string, 0, len(tab))
+		for k := range tab {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			c := make([]cnf.Lit, 0, len(deps)+1)
+			for i, d := range deps {
+				// ¬match: some dependency literal differs from p.
+				c = append(c, cnf.NewLit(varOf(d), k[i] == '1'))
+			}
+			c = append(c, yl.XorSign(!tab[k]))
+			vs.AddClause(c...)
+		}
+	}
+
+	// Encode "some clause is violated": selector per clause.
+	sel := make([]cnf.Lit, 0, len(f.Matrix.Clauses))
+	for _, c := range f.Matrix.Clauses {
+		sl := cnf.PosLit(vs.NewVar())
+		for _, l := range c {
+			vs.AddClause(sl.Not(), litOf(l).Not())
+		}
+		sel = append(sel, sl)
+	}
+	if len(sel) == 0 {
+		return nil, false // empty matrix is a tautology
+	}
+	vs.AddClause(sel...)
+
+	if vs.Solve() != sat.Sat {
+		return nil, false
+	}
+	model := vs.Model()
+	a := make(map[cnf.Var]bool, len(f.Univ))
+	for _, x := range f.Univ {
+		a[x] = model.Get(varOf(x))
+	}
+	return a, true
+}

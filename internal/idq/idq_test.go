@@ -1,0 +1,193 @@
+package idq
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cnf"
+	"repro/internal/core"
+	"repro/internal/dqbf"
+)
+
+func paperExample1() *dqbf.Formula {
+	f := dqbf.New()
+	f.AddUniversal(1)
+	f.AddUniversal(2)
+	f.AddExistential(3, 1)
+	f.AddExistential(4, 2)
+	f.Matrix.AddDimacsClause(-3, 1)
+	f.Matrix.AddDimacsClause(3, -1)
+	f.Matrix.AddDimacsClause(-4, 2)
+	f.Matrix.AddDimacsClause(4, -2)
+	return f
+}
+
+func TestPaperExample1(t *testing.T) {
+	res := New(Options{}).Solve(paperExample1())
+	if res.Status != Solved || !res.Sat {
+		t.Fatalf("got %v/%v, want solved SAT", res.Status, res.Sat)
+	}
+	if res.Stats.Iterations == 0 || res.Stats.VerifySAT == 0 {
+		t.Fatal("stats not populated")
+	}
+}
+
+func TestCrossDependencyUnsat(t *testing.T) {
+	f := dqbf.New()
+	f.AddUniversal(1)
+	f.AddUniversal(2)
+	f.AddExistential(3, 2)
+	f.AddExistential(4, 1)
+	f.Matrix.AddDimacsClause(-3, 1)
+	f.Matrix.AddDimacsClause(3, -1)
+	f.Matrix.AddDimacsClause(-4, 2)
+	f.Matrix.AddDimacsClause(4, -2)
+	res := New(Options{}).Solve(f)
+	if res.Status != Solved || res.Sat {
+		t.Fatalf("got %v/%v, want solved UNSAT", res.Status, res.Sat)
+	}
+}
+
+func randomDQBF(rng *rand.Rand, nUniv, nExist, nClauses int) *dqbf.Formula {
+	f := dqbf.New()
+	for i := 1; i <= nUniv; i++ {
+		f.AddUniversal(cnf.Var(i))
+	}
+	for i := 0; i < nExist; i++ {
+		y := cnf.Var(nUniv + i + 1)
+		var deps []cnf.Var
+		for _, x := range f.Univ {
+			if rng.Intn(2) == 0 {
+				deps = append(deps, x)
+			}
+		}
+		f.AddExistential(y, deps...)
+	}
+	n := nUniv + nExist
+	for i := 0; i < nClauses; i++ {
+		k := 1 + rng.Intn(3)
+		c := make(cnf.Clause, 0, k)
+		for j := 0; j < k; j++ {
+			c = append(c, cnf.NewLit(cnf.Var(1+rng.Intn(n)), rng.Intn(2) == 0))
+		}
+		f.Matrix.Clauses = append(f.Matrix.Clauses, c)
+	}
+	return f
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(888))
+	for iter := 0; iter < 250; iter++ {
+		f := randomDQBF(rng, 1+rng.Intn(3), 1+rng.Intn(3), 2+rng.Intn(10))
+		want, err := dqbf.BruteForce(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := New(Options{}).Solve(f)
+		if res.Status != Solved {
+			t.Fatalf("iter %d: status %v", iter, res.Status)
+		}
+		if res.Sat != want {
+			t.Fatalf("iter %d: got %v want %v\n%v\n%v", iter, res.Sat, want, f, f.Matrix.Clauses)
+		}
+		// SAT verdicts must come with a valid Skolem certificate.
+		if res.Sat {
+			if res.Certificate == nil {
+				t.Fatalf("iter %d: SAT without certificate", iter)
+			}
+			if err := res.Certificate.Verify(f); err != nil {
+				t.Fatalf("iter %d: certificate rejected: %v", iter, err)
+			}
+		} else if res.Certificate != nil {
+			t.Fatalf("iter %d: UNSAT with certificate", iter)
+		}
+	}
+}
+
+func TestCertificateForExample1(t *testing.T) {
+	res := New(Options{}).Solve(paperExample1())
+	if !res.Sat || res.Certificate == nil {
+		t.Fatal("expected SAT with certificate")
+	}
+	if err := res.Certificate.Verify(paperExample1()); err != nil {
+		t.Fatalf("certificate invalid: %v", err)
+	}
+}
+
+func TestAgreesWithHQSOnLargerInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(999))
+	hqs := core.New(core.DefaultOptions())
+	for iter := 0; iter < 30; iter++ {
+		f := randomDQBF(rng, 2+rng.Intn(4), 2+rng.Intn(4), 5+rng.Intn(20))
+		ref := hqs.Solve(f)
+		if ref.Status != core.Solved {
+			t.Fatalf("iter %d: HQS status %v", iter, ref.Status)
+		}
+		res := New(Options{}).Solve(f)
+		if res.Status != Solved || res.Sat != ref.Sat {
+			t.Fatalf("iter %d: iDQ %v/%v, HQS %v", iter, res.Status, res.Sat, ref.Sat)
+		}
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	f := dqbf.New()
+	f.AddUniversal(1)
+	f.AddExistential(2, 1)
+	res := New(Options{}).Solve(f)
+	if !res.Sat {
+		t.Fatal("empty matrix must be SAT")
+	}
+}
+
+func TestNoUniversals(t *testing.T) {
+	f := dqbf.New()
+	f.AddExistential(1)
+	f.AddExistential(2)
+	f.Matrix.AddDimacsClause(1, 2)
+	f.Matrix.AddDimacsClause(-1, 2)
+	res := New(Options{}).Solve(f)
+	if !res.Sat {
+		t.Fatal("satisfiable SAT instance must be SAT")
+	}
+	f.Matrix.AddDimacsClause(-2)
+	f.Matrix.AddDimacsClause(1, -2)
+	res = New(Options{}).Solve(f)
+	if res.Sat {
+		t.Fatal("unsatisfiable SAT instance must be UNSAT")
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	f := randomDQBF(rand.New(rand.NewSource(3)), 8, 8, 40)
+	res := New(Options{Timeout: time.Nanosecond}).Solve(f)
+	if res.Status != Timeout {
+		t.Fatalf("status = %v, want timeout", res.Status)
+	}
+}
+
+func TestInstantiationBudget(t *testing.T) {
+	// Example 1 needs at least one refinement round (the all-zero default
+	// tables are falsified by x1=1), so a budget of one instantiated clause
+	// must trip the memout path on the following iteration.
+	res := New(Options{MaxInstantiations: 1}).Solve(paperExample1())
+	if res.Status != Memout {
+		t.Fatalf("status = %v (stats %+v), want memout", res.Status, res.Stats)
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Solved.String() != "solved" || Timeout.String() != "timeout" || Memout.String() != "memout" {
+		t.Fatal("Status.String broken")
+	}
+}
+
+func TestInputNotModified(t *testing.T) {
+	f := paperExample1()
+	before := f.String()
+	New(Options{}).Solve(f)
+	if f.String() != before {
+		t.Fatal("Solve modified its input")
+	}
+}

@@ -1,0 +1,224 @@
+// Package maxsat implements a partial MaxSAT solver on top of the CDCL SAT
+// solver.
+//
+// A partial MaxSAT instance consists of hard clauses, which must be
+// satisfied, and soft clauses, of which as many as possible should be
+// satisfied. HQS uses partial MaxSAT to compute a minimum set of universal
+// variables whose elimination turns a DQBF into an equivalent QBF (paper
+// Section III-A, Equations 1 and 2): soft clauses are the unit clauses
+// ¬x̂ for every universal variable x, hard clauses encode the binary
+// dependency-set cycles.
+//
+// The solver relaxes each soft clause with a fresh relaxation variable and
+// searches for the minimum number of relaxed (violated) softs with a
+// sequential-counter cardinality encoding, increasing the bound from zero
+// until the SAT oracle answers SAT. Since HQS's optima are tiny (the minimum
+// elimination sets rarely exceed a handful of variables), the UNSAT→SAT
+// linear search converges in a few oracle calls.
+package maxsat
+
+import (
+	"errors"
+
+	"repro/internal/cnf"
+	"repro/internal/sat"
+)
+
+// ErrUnsat is returned when the hard clauses alone are unsatisfiable.
+var ErrUnsat = errors.New("maxsat: hard clauses unsatisfiable")
+
+// Solver accumulates hard and soft clauses.
+type Solver struct {
+	numVars int
+	hard    []cnf.Clause
+	soft    []cnf.Clause
+}
+
+// New returns an empty instance over n variables.
+func New(n int) *Solver {
+	return &Solver{numVars: n}
+}
+
+// NewVar allocates a fresh variable.
+func (m *Solver) NewVar() cnf.Var {
+	m.numVars++
+	return cnf.Var(m.numVars)
+}
+
+func (m *Solver) grow(c cnf.Clause) {
+	for _, l := range c {
+		if int(l.Var()) > m.numVars {
+			m.numVars = int(l.Var())
+		}
+	}
+}
+
+// AddHard adds a clause that must be satisfied.
+func (m *Solver) AddHard(lits ...cnf.Lit) {
+	c := cnf.Clause(lits).Clone()
+	m.grow(c)
+	m.hard = append(m.hard, c)
+}
+
+// AddSoft adds a clause that should be satisfied if possible.
+func (m *Solver) AddSoft(lits ...cnf.Lit) {
+	c := cnf.Clause(lits).Clone()
+	m.grow(c)
+	m.soft = append(m.soft, c)
+}
+
+// Result is the outcome of a Solve call.
+type Result struct {
+	// Cost is the number of violated soft clauses in the optimum.
+	Cost int
+	// Model is an optimal assignment over the original variables.
+	Model cnf.Assignment
+}
+
+// Solve computes an assignment satisfying all hard clauses and a maximum
+// number of soft clauses.
+func (m *Solver) Solve() (Result, error) {
+	s := sat.New()
+	s.EnsureVars(m.numVars)
+	for _, c := range m.hard {
+		if !s.AddClause(c...) {
+			return Result{}, ErrUnsat
+		}
+	}
+	// Relax each soft clause: (c ∨ r) with fresh r; r true ⇒ soft violated
+	// (or at least permitted to be).
+	relax := make([]cnf.Lit, len(m.soft))
+	for i, c := range m.soft {
+		r := s.NewVar()
+		relax[i] = cnf.PosLit(r)
+		cc := append(c.Clone(), cnf.PosLit(r))
+		if !s.AddClause(cc...) {
+			return Result{}, ErrUnsat
+		}
+	}
+	if len(m.soft) == 0 {
+		if s.Solve() != sat.Sat {
+			return Result{}, ErrUnsat
+		}
+		return Result{Cost: 0, Model: m.truncateModel(s.Model())}, nil
+	}
+
+	// First try cost 0: assume all relaxation literals false.
+	neg := make([]cnf.Lit, len(relax))
+	for i, r := range relax {
+		neg[i] = r.Not()
+	}
+	switch s.SolveAssuming(neg) {
+	case sat.Sat:
+		return Result{Cost: 0, Model: m.truncateModel(s.Model())}, nil
+	case sat.Unknown:
+		return Result{}, errors.New("maxsat: oracle returned unknown")
+	}
+	// Hard clauses alone satisfiable?
+	if s.Solve() != sat.Sat {
+		return Result{}, ErrUnsat
+	}
+	best := m.countViolated(s.Model())
+
+	// Sequential counter over the relaxation variables; tighten k upward
+	// from 1 until SAT (we know cost >= 1 here and best is an upper bound).
+	enc := newSeqCounter(s, relax)
+	for k := 1; k < best; k++ {
+		assumps := enc.atMost(k)
+		if s.SolveAssuming(assumps) == sat.Sat {
+			return Result{Cost: m.countViolated(s.Model()), Model: m.truncateModel(s.Model())}, nil
+		}
+	}
+	// Optimum equals the upper bound.
+	assumps := enc.atMost(best)
+	if s.SolveAssuming(assumps) != sat.Sat {
+		return Result{}, errors.New("maxsat: internal error, bound unreachable")
+	}
+	return Result{Cost: best, Model: m.truncateModel(s.Model())}, nil
+}
+
+func (m *Solver) countViolated(model cnf.Assignment) int {
+	n := 0
+	for _, c := range m.soft {
+		sat := false
+		for _, l := range c {
+			if model.Lit(l) {
+				sat = true
+				break
+			}
+		}
+		if !sat {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *Solver) truncateModel(model cnf.Assignment) cnf.Assignment {
+	out := cnf.NewAssignment(m.numVars)
+	for v := 1; v <= m.numVars; v++ {
+		out.Set(cnf.Var(v), model.Get(cnf.Var(v)))
+	}
+	return out
+}
+
+// seqCounter is a sequential-counter (LTSeq) cardinality encoding over a set
+// of input literals. sum[i][j] is true iff at least j+1 of the first i+1
+// inputs are true. Bounds are activated through assumptions so that the same
+// encoding serves every k.
+type seqCounter struct {
+	s      *sat.Solver
+	inputs []cnf.Lit
+	sum    [][]cnf.Lit // sum[i][j]
+}
+
+func newSeqCounter(s *sat.Solver, inputs []cnf.Lit) *seqCounter {
+	n := len(inputs)
+	e := &seqCounter{s: s, inputs: inputs, sum: make([][]cnf.Lit, n)}
+	for i := 0; i < n; i++ {
+		e.sum[i] = make([]cnf.Lit, i+1)
+		for j := 0; j <= i; j++ {
+			e.sum[i][j] = cnf.PosLit(s.NewVar())
+		}
+	}
+	for i := 0; i < n; i++ {
+		x := inputs[i]
+		// sum[i][0] ← x ∨ sum[i-1][0]
+		if i == 0 {
+			// x → sum[0][0]
+			s.AddClause(x.Not(), e.sum[0][0])
+			// sum[0][0] → x (exactness not required for ≤k, but keeps the
+			// counter tight and the model costs accurate).
+			s.AddClause(e.sum[0][0].Not(), x)
+			continue
+		}
+		s.AddClause(x.Not(), e.sum[i][0])
+		s.AddClause(e.sum[i-1][0].Not(), e.sum[i][0])
+		s.AddClause(e.sum[i][0].Not(), x, e.sum[i-1][0])
+		for j := 1; j <= i; j++ {
+			if j-1 <= i-1 {
+				// x ∧ sum[i-1][j-1] → sum[i][j]
+				s.AddClause(x.Not(), e.sum[i-1][j-1].Not(), e.sum[i][j])
+			}
+			if j <= i-1 {
+				s.AddClause(e.sum[i-1][j].Not(), e.sum[i][j])
+				s.AddClause(e.sum[i][j].Not(), e.sum[i-1][j], e.sum[i-1][j-1])
+			} else {
+				// j == i: only way is all of the first i+1 true.
+				s.AddClause(e.sum[i][j].Not(), e.sum[i-1][j-1])
+				s.AddClause(e.sum[i][j].Not(), x)
+			}
+		}
+	}
+	return e
+}
+
+// atMost returns assumption literals forcing at most k of the inputs true.
+func (e *seqCounter) atMost(k int) []cnf.Lit {
+	n := len(e.inputs)
+	if k >= n {
+		return nil
+	}
+	// ¬sum[n-1][k] : fewer than k+1 inputs are true.
+	return []cnf.Lit{e.sum[n-1][k].Not()}
+}

@@ -1,0 +1,254 @@
+package maxsat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+func lit(d int) cnf.Lit { return cnf.LitFromDimacs(d) }
+
+// bruteForceOptimum returns the minimum number of violated soft clauses over
+// all assignments satisfying the hard clauses, or -1 if the hards are UNSAT.
+func bruteForceOptimum(n int, hard, soft []cnf.Clause) int {
+	best := -1
+	a := cnf.NewAssignment(n)
+	for bits := 0; bits < 1<<n; bits++ {
+		for v := 1; v <= n; v++ {
+			a.Set(cnf.Var(v), bits&(1<<(v-1)) != 0)
+		}
+		ok := true
+		for _, c := range hard {
+			if !a.EvalClause(c) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		viol := 0
+		for _, c := range soft {
+			if !a.EvalClause(c) {
+				viol++
+			}
+		}
+		if best == -1 || viol < best {
+			best = viol
+		}
+	}
+	return best
+}
+
+func TestAllSoftSatisfiable(t *testing.T) {
+	m := New(2)
+	m.AddSoft(lit(1))
+	m.AddSoft(lit(2))
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 {
+		t.Fatalf("cost = %d, want 0", res.Cost)
+	}
+	if !res.Model.Get(1) || !res.Model.Get(2) {
+		t.Fatal("model should satisfy both softs")
+	}
+}
+
+func TestConflictingSofts(t *testing.T) {
+	m := New(1)
+	m.AddSoft(lit(1))
+	m.AddSoft(lit(-1))
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 1 {
+		t.Fatalf("cost = %d, want 1", res.Cost)
+	}
+}
+
+func TestHardUnsat(t *testing.T) {
+	m := New(1)
+	m.AddHard(lit(1))
+	m.AddHard(lit(-1))
+	m.AddSoft(lit(1))
+	if _, err := m.Solve(); err != ErrUnsat {
+		t.Fatalf("want ErrUnsat, got %v", err)
+	}
+}
+
+func TestHardForcesSoftViolations(t *testing.T) {
+	// Hard: exactly-one style constraint; softs want everything false.
+	m := New(3)
+	m.AddHard(lit(1), lit(2), lit(3))
+	m.AddSoft(lit(-1))
+	m.AddSoft(lit(-2))
+	m.AddSoft(lit(-3))
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 1 {
+		t.Fatalf("cost = %d, want 1", res.Cost)
+	}
+}
+
+func TestPaperStyleCycleSelection(t *testing.T) {
+	// The HQS use case (Eq. 1-2): universals x1,x2 with one binary cycle
+	// where D_y \ D_y' = {x1} and D_y' \ D_y = {x2}. Hard: x̂1 ∨ x̂2; soft:
+	// ¬x̂1, ¬x̂2. Optimum: eliminate exactly one variable.
+	m := New(2)
+	m.AddHard(lit(1), lit(2))
+	m.AddSoft(lit(-1))
+	m.AddSoft(lit(-2))
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 1 {
+		t.Fatalf("cost = %d, want 1", res.Cost)
+	}
+	if res.Model.Get(1) == res.Model.Get(2) {
+		t.Fatalf("exactly one of x̂1,x̂2 should be set, got %v %v",
+			res.Model.Get(1), res.Model.Get(2))
+	}
+}
+
+func TestMultiCycleSharedVariable(t *testing.T) {
+	// Two cycles sharing x2: (x̂1 ∨ x̂2) ∧ (x̂2 ∨ x̂3). Optimum: {x2}, cost 1.
+	m := New(3)
+	m.AddHard(lit(1), lit(2))
+	m.AddHard(lit(2), lit(3))
+	m.AddSoft(lit(-1))
+	m.AddSoft(lit(-2))
+	m.AddSoft(lit(-3))
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 1 {
+		t.Fatalf("cost = %d, want 1", res.Cost)
+	}
+	if !res.Model.Get(2) {
+		t.Fatal("x̂2 should be chosen (it covers both cycles)")
+	}
+}
+
+func TestHardConjunctionGroups(t *testing.T) {
+	// Hard constraint with Tseitin-style conjunction selectors, mimicking
+	// Eq. 1 with multi-variable difference sets: (a ∨ b), a ↔ x̂1∧x̂2,
+	// b ↔ x̂3. Optimum cost is 1 (choose x3).
+	m := New(5) // 1..3 selectors x̂, 4=a, 5=b
+	m.AddHard(lit(4), lit(5))
+	m.AddHard(lit(-4), lit(1))
+	m.AddHard(lit(-4), lit(2))
+	m.AddHard(lit(4), lit(-1), lit(-2))
+	m.AddHard(lit(-5), lit(3))
+	m.AddHard(lit(5), lit(-3))
+	m.AddSoft(lit(-1))
+	m.AddSoft(lit(-2))
+	m.AddSoft(lit(-3))
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 1 {
+		t.Fatalf("cost = %d, want 1", res.Cost)
+	}
+	if !res.Model.Get(3) {
+		t.Fatal("x̂3 is the unique optimum")
+	}
+}
+
+func TestNoSoft(t *testing.T) {
+	m := New(2)
+	m.AddHard(lit(1), lit(2))
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 0 {
+		t.Fatalf("cost = %d, want 0", res.Cost)
+	}
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for iter := 0; iter < 150; iter++ {
+		n := 3 + rng.Intn(5)
+		var hard, soft []cnf.Clause
+		nh := rng.Intn(5)
+		ns := 1 + rng.Intn(6)
+		mk := func() cnf.Clause {
+			k := 1 + rng.Intn(3)
+			c := make(cnf.Clause, 0, k)
+			for j := 0; j < k; j++ {
+				c = append(c, cnf.NewLit(cnf.Var(1+rng.Intn(n)), rng.Intn(2) == 0))
+			}
+			return c
+		}
+		for i := 0; i < nh; i++ {
+			hard = append(hard, mk())
+		}
+		for i := 0; i < ns; i++ {
+			soft = append(soft, mk())
+		}
+		want := bruteForceOptimum(n, hard, soft)
+		m := New(n)
+		for _, c := range hard {
+			m.AddHard(c...)
+		}
+		for _, c := range soft {
+			m.AddSoft(c...)
+		}
+		res, err := m.Solve()
+		if want == -1 {
+			if err != ErrUnsat {
+				t.Fatalf("iter %d: want ErrUnsat, got cost %d err %v", iter, res.Cost, err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if res.Cost != want {
+			t.Fatalf("iter %d: cost %d want %d (hard=%v soft=%v)", iter, res.Cost, want, hard, soft)
+		}
+		// The returned model must satisfy all hards and violate exactly Cost softs.
+		for _, c := range hard {
+			if !res.Model.EvalClause(c) {
+				t.Fatalf("iter %d: model violates hard clause", iter)
+			}
+		}
+		viol := 0
+		for _, c := range soft {
+			if !res.Model.EvalClause(c) {
+				viol++
+			}
+		}
+		if viol != res.Cost {
+			t.Fatalf("iter %d: model violates %d softs, reported %d", iter, viol, res.Cost)
+		}
+	}
+}
+
+func TestLargerAllFalseOptimum(t *testing.T) {
+	// 12 softs wanting vars false, hard clauses forcing 3 specific vars true.
+	m := New(12)
+	for v := 1; v <= 12; v++ {
+		m.AddSoft(cnf.NegLit(cnf.Var(v)))
+	}
+	m.AddHard(lit(2))
+	m.AddHard(lit(5))
+	m.AddHard(lit(9))
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 3 {
+		t.Fatalf("cost = %d, want 3", res.Cost)
+	}
+}

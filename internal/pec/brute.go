@@ -1,0 +1,96 @@
+package pec
+
+import "fmt"
+
+// BruteForceRealizable decides realizability by enumerating all black-box
+// function tables and all primary-input vectors. Exponential in both; it
+// exists as ground truth for the DQBF encoding in tests.
+func BruteForceRealizable(p *Problem) (bool, error) {
+	if err := p.Validate(); err != nil {
+		return false, err
+	}
+	nPI := len(p.Impl.Inputs)
+	if nPI > 12 {
+		return false, fmt.Errorf("pec: %d primary inputs too many for brute force", nPI)
+	}
+	var slots []tableSlot
+	totalBits := 0
+	for bi, b := range p.Boxes {
+		tableSize := 1 << len(b.Inputs)
+		for _, o := range b.Outputs {
+			slots = append(slots, tableSlot{box: bi, output: o, offset: totalBits})
+			totalBits += tableSize
+		}
+	}
+	if totalBits > 22 {
+		return false, fmt.Errorf("pec: %d table bits too many for brute force", totalBits)
+	}
+
+	for tables := uint64(0); tables < 1<<totalBits; tables++ {
+		ok := true
+		for bits := 0; bits < 1<<nPI && ok; bits++ {
+			in := make([]bool, nPI)
+			for i := range in {
+				in[i] = bits&(1<<i) != 0
+			}
+			implOut, err := evalWithBoxes(p, in, tables, slots)
+			if err != nil {
+				return false, err
+			}
+			specOut := p.Spec.Eval(in, nil)
+			for i := range specOut {
+				if implOut[i] != specOut[i] {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// tableSlot locates one box output's truth table inside the packed table
+// bits of the brute-force enumeration.
+type tableSlot struct {
+	box    int
+	output int // impl signal id
+	offset int // bit offset of this output's table
+}
+
+// evalWithBoxes evaluates the incomplete implementation under fixed box
+// tables, iterating to a fixpoint to honor box-to-box dependencies.
+func evalWithBoxes(p *Problem, in []bool, tables uint64, slots []tableSlot) ([]bool, error) {
+	free := make(map[int]bool)
+	var out []bool
+	rounds := len(p.Boxes) + 2
+	for r := 0; r < rounds; r++ {
+		vals := p.Impl.EvalAll(in, free)
+		changed := false
+		for _, s := range slots {
+			b := p.Boxes[s.box]
+			idx := 0
+			for i, z := range b.Inputs {
+				if vals[z] {
+					idx |= 1 << i
+				}
+			}
+			v := tables&(1<<(s.offset+idx)) != 0
+			if free[s.output] != v {
+				free[s.output] = v
+				changed = true
+			}
+		}
+		vals = p.Impl.EvalAll(in, free)
+		out = make([]bool, len(p.Impl.Outputs))
+		for i, id := range p.Impl.Outputs {
+			out[i] = vals[id]
+		}
+		if !changed && r > 0 {
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("pec: box evaluation did not stabilize (cyclic box dependencies)")
+}

@@ -1,0 +1,307 @@
+// Package pec implements the partial equivalence checking (PEC) problem —
+// the paper's reference application (Section IV): given a specification
+// circuit and an incomplete implementation containing black boxes, is there
+// an implementation of the black boxes making the design equivalent to the
+// specification?
+//
+// The encoding into DQBF follows Gitina et al. (ICCD 2013), the formulation
+// used by the paper's 1820 benchmark instances:
+//
+//	∀x ∀ẑ ∃y_B(ẑ_B) :  (⋀_z ẑ = z(x,y))  →  (⋀_o out_I(x,y) = out_S(x))
+//
+// where x are the primary inputs, z the black-box input signals (each gets a
+// universal copy ẑ), and y_B the outputs of box B, which may depend only on
+// the copies ẑ_B of B's own inputs. Exactly the dependency sets of distinct
+// boxes are incomparable, which is what QBF cannot express and DQBF can.
+package pec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuit"
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+)
+
+// BlackBox identifies one unimplemented part of the implementation circuit.
+type BlackBox struct {
+	Name string
+	// Inputs are implementation signal ids observable by the box.
+	Inputs []int
+	// Outputs are implementation FreeGate signal ids driven by the box.
+	Outputs []int
+}
+
+// Problem is a PEC instance.
+type Problem struct {
+	Spec  *circuit.Circuit
+	Impl  *circuit.Circuit
+	Boxes []BlackBox
+}
+
+// Validate checks the structural preconditions: matching primary pins,
+// box outputs are FreeGates, every FreeGate belongs to exactly one box.
+func (p *Problem) Validate() error {
+	if len(p.Spec.Inputs) != len(p.Impl.Inputs) {
+		return fmt.Errorf("pec: spec has %d inputs, impl %d", len(p.Spec.Inputs), len(p.Impl.Inputs))
+	}
+	if len(p.Spec.Outputs) != len(p.Impl.Outputs) {
+		return fmt.Errorf("pec: spec has %d outputs, impl %d", len(p.Spec.Outputs), len(p.Impl.Outputs))
+	}
+	owned := make(map[int]string)
+	for _, b := range p.Boxes {
+		if len(b.Outputs) == 0 {
+			return fmt.Errorf("pec: box %q has no outputs", b.Name)
+		}
+		for _, o := range b.Outputs {
+			if p.Impl.Gates[o].Type != circuit.FreeGate {
+				return fmt.Errorf("pec: box %q output %q is not a free signal", b.Name, p.Impl.Name(o))
+			}
+			if prev, dup := owned[o]; dup {
+				return fmt.Errorf("pec: signal %q owned by boxes %q and %q", p.Impl.Name(o), prev, b.Name)
+			}
+			owned[o] = b.Name
+		}
+		for _, in := range b.Inputs {
+			if in < 0 || in >= p.Impl.NumGates() {
+				return fmt.Errorf("pec: box %q references unknown input signal %d", b.Name, in)
+			}
+		}
+	}
+	for _, id := range p.Impl.FreeSignals() {
+		if _, ok := owned[id]; !ok {
+			return fmt.Errorf("pec: free signal %q not owned by any box", p.Impl.Name(id))
+		}
+	}
+	return nil
+}
+
+// ToDQBF encodes the PEC instance; the resulting formula is satisfiable iff
+// the incomplete design is realizable.
+func (p *Problem) ToDQBF() (*dqbf.Formula, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	f := dqbf.New()
+	m := f.Matrix
+
+	// 1. Primary inputs: one universal variable each, shared spec/impl.
+	piVar := make([]cnf.Var, len(p.Impl.Inputs))
+	for i := range p.Impl.Inputs {
+		v := m.NewVar()
+		piVar[i] = v
+		f.AddUniversal(v)
+	}
+	// 2. Universal copies ẑ for the box input signals (dedup across boxes,
+	// stable order).
+	copyVar := make(map[int]cnf.Var)
+	var copyOrder []int
+	for _, b := range p.Boxes {
+		for _, z := range b.Inputs {
+			if _, ok := copyVar[z]; !ok {
+				copyVar[z] = 0 // placeholder, allocated below in sorted order
+				copyOrder = append(copyOrder, z)
+			}
+		}
+	}
+	sort.Ints(copyOrder)
+	for _, z := range copyOrder {
+		v := m.NewVar()
+		copyVar[z] = v
+		f.AddUniversal(v)
+	}
+	// 3. Box outputs: existentials over their box's copies.
+	outVar := make(map[int]cnf.Var)
+	for _, b := range p.Boxes {
+		deps := make([]cnf.Var, 0, len(b.Inputs))
+		seen := map[int]bool{}
+		for _, z := range b.Inputs {
+			if !seen[z] {
+				seen[z] = true
+				deps = append(deps, copyVar[z])
+			}
+		}
+		for _, o := range b.Outputs {
+			v := m.NewVar()
+			outVar[o] = v
+			f.AddExistential(v, deps...)
+		}
+	}
+
+	// 4. Tseitin-encode both circuits. Implementation first.
+	implVar := func(id int) cnf.Var {
+		if g := p.Impl.Gates[id].Type; g == circuit.FreeGate {
+			return outVar[id]
+		}
+		for i, pid := range p.Impl.Inputs {
+			if pid == id {
+				return piVar[i]
+			}
+		}
+		panic(fmt.Sprintf("pec: unmapped impl signal %d", id))
+	}
+	implEnc := p.Impl.ToCNF(m, implVar)
+	specVar := func(id int) cnf.Var {
+		for i, pid := range p.Spec.Inputs {
+			if pid == id {
+				return piVar[i]
+			}
+		}
+		panic(fmt.Sprintf("pec: unmapped spec signal %d", id))
+	}
+	specEnc := p.Spec.ToCNF(m, specVar)
+
+	// 5. Mismatch literals mism_z ↔ (ẑ ⊕ z) for every copied signal.
+	mism := make([]cnf.Lit, 0, len(copyOrder))
+	for _, z := range copyOrder {
+		zv := cnf.PosLit(copyVar[z])
+		zl := implEnc.SigLit[z]
+		d := cnf.PosLit(m.NewVar())
+		m.AddClause(d.Not(), zv, zl)
+		m.AddClause(d.Not(), zv.Not(), zl.Not())
+		m.AddClause(d, zv, zl.Not())
+		m.AddClause(d, zv.Not(), zl)
+		mism = append(mism, d)
+	}
+
+	// 6. For every primary output: (no mismatch) → out_I ↔ out_S.
+	for i, oid := range p.Impl.Outputs {
+		oi := implEnc.SigLit[oid]
+		os := specEnc.SigLit[p.Spec.Outputs[i]]
+		c1 := append(append([]cnf.Lit{}, mism...), oi.Not(), os)
+		c2 := append(append([]cnf.Lit{}, mism...), oi, os.Not())
+		m.AddClause(c1...)
+		m.AddClause(c2...)
+	}
+
+	// 7. Tseitin auxiliaries (gate and mismatch variables) are innermost
+	// existentials depending on all universals.
+	quant := dqbf.NewVarSet(append(append([]cnf.Var{}, f.Univ...), f.Exist...)...)
+	for v := cnf.Var(1); int(v) <= m.NumVars; v++ {
+		if !quant.Has(v) {
+			f.AddExistential(v, f.Univ...)
+		}
+	}
+	return f, nil
+}
+
+// CutBoxes removes the given gate groups from a complete circuit, turning
+// each group into a black box: the group's outward-visible signals become
+// FreeGates and the external signals feeding the group become the box
+// inputs. It returns the incomplete circuit and the box descriptors (with
+// ids valid in the returned circuit).
+func CutBoxes(c *circuit.Circuit, groups [][]int) (*circuit.Circuit, []BlackBox, error) {
+	inGroup := make(map[int]int) // gate id -> group index
+	for gi, g := range groups {
+		if len(g) == 0 {
+			return nil, nil, fmt.Errorf("pec: empty box group %d", gi)
+		}
+		for _, id := range g {
+			if id < 0 || id >= c.NumGates() {
+				return nil, nil, fmt.Errorf("pec: unknown gate %d in group %d", id, gi)
+			}
+			switch c.Gates[id].Type {
+			case circuit.InputGate, circuit.FreeGate:
+				return nil, nil, fmt.Errorf("pec: cannot cut %v %q", c.Gates[id].Type, c.Name(id))
+			}
+			if prev, dup := inGroup[id]; dup {
+				return nil, nil, fmt.Errorf("pec: gate %d in groups %d and %d", id, prev, gi)
+			}
+			inGroup[id] = gi
+		}
+	}
+
+	// Outputs of a group: in-group signals read outside the group or POs.
+	// Inputs of a group: out-of-group signals read inside the group.
+	type boxAcc struct {
+		inputs  map[int]bool
+		outputs map[int]bool
+	}
+	accs := make([]boxAcc, len(groups))
+	for i := range accs {
+		accs[i] = boxAcc{inputs: map[int]bool{}, outputs: map[int]bool{}}
+	}
+	for id, g := range c.Gates {
+		gi, inside := inGroup[id]
+		for _, in := range g.Ins {
+			igi, inInside := inGroup[in]
+			switch {
+			case inside && !inInside:
+				accs[gi].inputs[in] = true
+			case !inside && inInside:
+				accs[igi].outputs[in] = true
+			case inside && inInside && igi != gi:
+				accs[igi].outputs[in] = true
+				accs[gi].inputs[in] = true
+			}
+		}
+	}
+	for _, id := range c.Outputs {
+		if gi, inside := inGroup[id]; inside {
+			accs[gi].outputs[id] = true
+		}
+	}
+
+	// Rebuild the circuit with in-group gates dropped; group outputs become
+	// FreeGates. Gates strictly inside a group with no outside reader vanish.
+	d := circuit.New()
+	idMap := make(map[int]int)
+	for _, id := range c.Inputs {
+		idMap[id] = d.AddInput(c.Name(id))
+	}
+	var boxes []BlackBox
+	for gi := range groups {
+		var outs []int
+		var outIDs []int
+		for id := range accs[gi].outputs {
+			outIDs = append(outIDs, id)
+		}
+		sort.Ints(outIDs)
+		for _, id := range outIDs {
+			nid := d.AddFree(c.Name(id))
+			idMap[id] = nid
+			outs = append(outs, nid)
+		}
+		boxes = append(boxes, BlackBox{Name: fmt.Sprintf("bb%d", gi), Outputs: outs})
+	}
+	for id, g := range c.Gates {
+		if _, inside := inGroup[id]; inside {
+			continue
+		}
+		switch g.Type {
+		case circuit.InputGate, circuit.FreeGate:
+			continue
+		}
+		ins := make([]int, len(g.Ins))
+		for i, in := range g.Ins {
+			nid, ok := idMap[in]
+			if !ok {
+				return nil, nil, fmt.Errorf("pec: signal %q lost during cut", c.Name(in))
+			}
+			ins[i] = nid
+		}
+		idMap[id] = d.AddGate(g.Name, g.Type, ins...)
+	}
+	for _, id := range c.Outputs {
+		d.MarkOutput(idMap[id])
+	}
+	// Resolve box inputs to new ids (they are outside every group, so they
+	// survive the rebuild — unless they feed only boxes, in which case they
+	// are still rebuilt because out-of-group gates are all kept).
+	for gi := range groups {
+		var inIDs []int
+		for id := range accs[gi].inputs {
+			inIDs = append(inIDs, id)
+		}
+		sort.Ints(inIDs)
+		for _, id := range inIDs {
+			nid, ok := idMap[id]
+			if !ok {
+				return nil, nil, fmt.Errorf("pec: box input %q lost during cut", c.Name(id))
+			}
+			boxes[gi].Inputs = append(boxes[gi].Inputs, nid)
+		}
+	}
+	return d, boxes, nil
+}

@@ -1,0 +1,286 @@
+// Package qbf implements an AIG-based QBF solver in the style of AIGSOLVE,
+// the back end HQS hands its formula to once the DQBF prefix has been made
+// linear (paper Section III-C).
+//
+// The solver eliminates quantifier blocks from the innermost block outward:
+// existential variables by ∃v.φ = φ[0/v] ∨ φ[1/v], universal variables by
+// ∀v.φ = φ[0/v] ∧ φ[1/v], both directly on the AIG. Between eliminations it
+// applies the syntactic unit/pure-literal rules of the paper's Theorems 5/6
+// and periodically compresses the AIG by SAT sweeping (FRAIG reduction).
+// When only the outermost existential block remains, a single SAT call
+// finishes the job; when the matrix collapses to a constant the answer is
+// immediate.
+package qbf
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/aig"
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+)
+
+// ErrTimeout is returned by Solve when the deadline passes before a verdict.
+var ErrTimeout = errors.New("qbf: deadline exceeded")
+
+// Options configure the solver.
+type Options struct {
+	// UnitPure enables the syntactic unit/pure elimination between variable
+	// eliminations.
+	UnitPure bool
+	// SweepThreshold triggers a SAT sweep whenever the matrix cone has grown
+	// by this many AND nodes since the last sweep; 0 disables sweeping.
+	SweepThreshold int
+	// SweepOptions configure individual sweeps.
+	SweepOptions aig.SweepOptions
+	// FinalSAT finishes an outermost purely-existential block with one SAT
+	// call instead of eliminating variable by variable.
+	FinalSAT bool
+	// Deadline, when nonzero, aborts the solve with ErrTimeout once passed.
+	Deadline time.Time
+}
+
+// DefaultOptions mirror the configuration used in the paper's experiments.
+func DefaultOptions() Options {
+	return Options{
+		UnitPure:       true,
+		SweepThreshold: 512,
+		SweepOptions:   aig.DefaultSweepOptions(),
+		FinalSAT:       true,
+	}
+}
+
+// Stats collects elimination counters.
+type Stats struct {
+	ExistElims  int
+	UnivElims   int
+	UnitElims   int
+	PureElims   int
+	Sweeps      int
+	FinalSATRun bool
+}
+
+// Solver decides QBF instances whose matrix lives in an AIG.
+type Solver struct {
+	G    *aig.Graph
+	Opt  Options
+	Stat Stats
+}
+
+// New returns a solver over graph g with the given options.
+func New(g *aig.Graph, opt Options) *Solver {
+	return &Solver{G: g, Opt: opt}
+}
+
+// block pairs a quantifier kind with its variables.
+type block struct {
+	exist bool
+	vars  []cnf.Var
+}
+
+// Solve decides the QBF given by the linear prefix (outermost block first,
+// as produced by dqbf.Linearize) and the matrix. It returns the truth value.
+// An aig.ErrNodeLimit panic from the graph propagates as an error.
+func (s *Solver) Solve(prefix []dqbf.Block, matrix aig.Ref) (result bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if lim, ok := r.(aig.ErrNodeLimit); ok {
+				err = lim
+				return
+			}
+			panic(r)
+		}
+	}()
+
+	// Flatten into alternating quantifier blocks, innermost last.
+	var blocks []block
+	push := func(exist bool, vars []cnf.Var) {
+		if len(vars) == 0 {
+			return
+		}
+		if n := len(blocks); n > 0 && blocks[n-1].exist == exist {
+			blocks[n-1].vars = append(blocks[n-1].vars, vars...)
+			return
+		}
+		blocks = append(blocks, block{exist: exist, vars: append([]cnf.Var(nil), vars...)})
+	}
+	for _, b := range prefix {
+		push(false, b.Univ)
+		push(true, b.Exist)
+	}
+
+	m := matrix
+	lastSweepSize := s.G.ConeSize(m)
+	expired := func() bool {
+		return !s.Opt.Deadline.IsZero() && time.Now().After(s.Opt.Deadline)
+	}
+
+	for len(blocks) > 0 {
+		if expired() {
+			return false, ErrTimeout
+		}
+		if m.IsConst() {
+			return m == aig.True, nil
+		}
+		if s.Opt.UnitPure {
+			m = s.applyUnitPure(m, blocks)
+			if m.IsConst() {
+				return m == aig.True, nil
+			}
+		}
+		// Drop variables that left the support.
+		support := s.G.Support(m)
+		blocks = filterBlocks(blocks, support)
+		if len(blocks) == 0 {
+			break
+		}
+		inner := &blocks[len(blocks)-1]
+		if len(inner.vars) == 0 {
+			blocks = blocks[:len(blocks)-1]
+			continue
+		}
+		if inner.exist && len(blocks) == 1 && s.Opt.FinalSAT {
+			// Outermost existential block: one SAT call.
+			s.Stat.FinalSATRun = true
+			sat, _ := s.G.IsSatisfiable(m)
+			return sat, nil
+		}
+		v := s.pickVariable(m, inner.vars)
+		inner.vars = removeVar(inner.vars, v)
+		if inner.exist {
+			m = s.G.Exists(m, v)
+			s.Stat.ExistElims++
+		} else {
+			m = s.G.Forall(m, v)
+			s.Stat.UnivElims++
+		}
+		if s.Opt.SweepThreshold > 0 {
+			if size := s.G.ConeSize(m); size > lastSweepSize+s.Opt.SweepThreshold {
+				so := s.Opt.SweepOptions
+				so.Deadline = s.Opt.Deadline
+				m, _ = s.G.Sweep(m, so)
+				s.Stat.Sweeps++
+				lastSweepSize = s.G.ConeSize(m)
+			}
+		}
+	}
+	if !m.IsConst() {
+		return false, fmt.Errorf("qbf: variables eliminated but matrix not constant (support %v)", s.G.Support(m))
+	}
+	return m == aig.True, nil
+}
+
+// applyUnitPure eliminates unit and pure variables per Theorems 5 and 6
+// until a fixpoint, updating the blocks in place.
+func (s *Solver) applyUnitPure(m aig.Ref, blocks []block) aig.Ref {
+	for {
+		changed := false
+		up := s.G.UnitPure(m)
+		for bi := range blocks {
+			b := &blocks[bi]
+			for _, v := range append([]cnf.Var(nil), b.vars...) {
+				p, ok := up[v]
+				if !ok {
+					continue
+				}
+				switch {
+				case b.exist && p.PosUnit:
+					m = s.G.Cofactor(m, v, true)
+					s.Stat.UnitElims++
+				case b.exist && p.NegUnit:
+					m = s.G.Cofactor(m, v, false)
+					s.Stat.UnitElims++
+				case !b.exist && (p.PosUnit || p.NegUnit):
+					// Universal unit: the formula is falsified by the
+					// opposite value.
+					return aig.False
+				case b.exist && p.PosPure:
+					m = s.G.Cofactor(m, v, true)
+					s.Stat.PureElims++
+				case b.exist && p.NegPure:
+					m = s.G.Cofactor(m, v, false)
+					s.Stat.PureElims++
+				case !b.exist && p.PosPure:
+					m = s.G.Cofactor(m, v, false)
+					s.Stat.PureElims++
+				case !b.exist && p.NegPure:
+					m = s.G.Cofactor(m, v, true)
+					s.Stat.PureElims++
+				default:
+					continue
+				}
+				b.vars = removeVar(b.vars, v)
+				changed = true
+				if m.IsConst() {
+					return m
+				}
+				up = s.G.UnitPure(m)
+			}
+		}
+		if !changed {
+			return m
+		}
+	}
+}
+
+// pickVariable chooses the next variable of the innermost block: the one
+// whose input node has the smallest fanout in the cone, a cheap proxy for
+// the cost of duplicating the cofactors.
+func (s *Solver) pickVariable(m aig.Ref, vars []cnf.Var) cnf.Var {
+	counts := s.fanoutCounts(m)
+	best := vars[0]
+	bestC := counts[best]
+	for _, v := range vars[1:] {
+		if c := counts[v]; c < bestC {
+			best, bestC = v, c
+		}
+	}
+	return best
+}
+
+// fanoutCounts counts, for each input variable, how many AND nodes in the
+// cone reference it directly.
+func (s *Solver) fanoutCounts(m aig.Ref) map[cnf.Var]int {
+	counts := make(map[cnf.Var]int)
+	for _, r := range s.G.ConeRefs(m) {
+		f0, f1, isAnd := s.G.Fanins(r)
+		if !isAnd {
+			continue
+		}
+		if v := s.G.InputVar(f0); v != 0 {
+			counts[v]++
+		}
+		if v := s.G.InputVar(f1); v != 0 {
+			counts[v]++
+		}
+	}
+	return counts
+}
+
+func filterBlocks(blocks []block, support map[cnf.Var]bool) []block {
+	out := blocks[:0]
+	for _, b := range blocks {
+		var vars []cnf.Var
+		for _, v := range b.vars {
+			if support[v] {
+				vars = append(vars, v)
+			}
+		}
+		if len(vars) > 0 {
+			b.vars = vars
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func removeVar(vars []cnf.Var, v cnf.Var) []cnf.Var {
+	for i, w := range vars {
+		if w == v {
+			return append(vars[:i], vars[i+1:]...)
+		}
+	}
+	return vars
+}

@@ -1,0 +1,156 @@
+package refute
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+)
+
+func crossExample() *dqbf.Formula {
+	// ∀x1∀x2 ∃y1(x2) ∃y2(x1): (y1↔x1)∧(y2↔x2) — unsatisfiable.
+	f := dqbf.New()
+	f.AddUniversal(1)
+	f.AddUniversal(2)
+	f.AddExistential(3, 2)
+	f.AddExistential(4, 1)
+	f.Matrix.AddDimacsClause(-3, 1)
+	f.Matrix.AddDimacsClause(3, -1)
+	f.Matrix.AddDimacsClause(-4, 2)
+	f.Matrix.AddDimacsClause(4, -2)
+	return f
+}
+
+func paperExample1() *dqbf.Formula {
+	f := crossExample()
+	f.Deps[3] = dqbf.NewVarSet(1)
+	f.Deps[4] = dqbf.NewVarSet(2)
+	return f
+}
+
+func TestRefutesCrossDependency(t *testing.T) {
+	res := Refute(crossExample(), Options{})
+	if res.Verdict != Refuted {
+		t.Fatalf("verdict = %v, want REFUTED", res.Verdict)
+	}
+	if res.Stats.Assignments == 0 || res.Stats.SATCalls == 0 {
+		t.Fatal("stats empty")
+	}
+}
+
+func TestSatisfiedOnFullCoverage(t *testing.T) {
+	res := Refute(paperExample1(), Options{})
+	if res.Verdict != Satisfied {
+		t.Fatalf("verdict = %v, want SATISFIED (pool covers all 4 assignments)", res.Verdict)
+	}
+}
+
+func TestInconclusiveOnTinyBudget(t *testing.T) {
+	// With a single assignment the satisfiable example cannot be settled.
+	res := Refute(paperExample1(), Options{MaxAssignments: 1})
+	if res.Verdict != Inconclusive {
+		t.Fatalf("verdict = %v, want INCONCLUSIVE", res.Verdict)
+	}
+}
+
+func TestNeverRefutesSatisfiable(t *testing.T) {
+	// Soundness: on satisfiable formulas the refuter must never say REFUTED.
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 150; iter++ {
+		f := dqbf.New()
+		nUniv := 1 + rng.Intn(3)
+		for i := 1; i <= nUniv; i++ {
+			f.AddUniversal(cnf.Var(i))
+		}
+		nExist := 1 + rng.Intn(3)
+		for i := 0; i < nExist; i++ {
+			y := cnf.Var(nUniv + i + 1)
+			var deps []cnf.Var
+			for _, x := range f.Univ {
+				if rng.Intn(2) == 0 {
+					deps = append(deps, x)
+				}
+			}
+			f.AddExistential(y, deps...)
+		}
+		n := nUniv + nExist
+		for i := 0; i < 2+rng.Intn(10); i++ {
+			k := 1 + rng.Intn(3)
+			c := make(cnf.Clause, 0, k)
+			for j := 0; j < k; j++ {
+				c = append(c, cnf.NewLit(cnf.Var(1+rng.Intn(n)), rng.Intn(2) == 0))
+			}
+			f.Matrix.Clauses = append(f.Matrix.Clauses, c)
+		}
+		want, err := dqbf.BruteForce(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Refute(f, Options{})
+		switch res.Verdict {
+		case Refuted:
+			if want {
+				t.Fatalf("iter %d: refuted a satisfiable formula\n%v\n%v", iter, f, f.Matrix.Clauses)
+			}
+		case Satisfied:
+			if !want {
+				t.Fatalf("iter %d: satisfied an unsatisfiable formula", iter)
+			}
+		}
+	}
+}
+
+func TestCompleteOnSmallFormulas(t *testing.T) {
+	// With few universals the default budget covers the full expansion, so
+	// the refuter becomes a decision procedure.
+	rng := rand.New(rand.NewSource(43))
+	conclusive := 0
+	for iter := 0; iter < 60; iter++ {
+		f := dqbf.New()
+		f.AddUniversal(1)
+		f.AddUniversal(2)
+		f.AddExistential(3, 1)
+		f.AddExistential(4, 2)
+		for i := 0; i < 3+rng.Intn(6); i++ {
+			k := 1 + rng.Intn(3)
+			c := make(cnf.Clause, 0, k)
+			for j := 0; j < k; j++ {
+				c = append(c, cnf.NewLit(cnf.Var(1+rng.Intn(4)), rng.Intn(2) == 0))
+			}
+			f.Matrix.Clauses = append(f.Matrix.Clauses, c)
+		}
+		want, err := dqbf.BruteForce(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := Refute(f, Options{})
+		if res.Verdict == Inconclusive {
+			continue
+		}
+		conclusive++
+		got := res.Verdict == Satisfied
+		if got != want {
+			t.Fatalf("iter %d: verdict %v, brute force %v", iter, res.Verdict, want)
+		}
+	}
+	if conclusive < 50 {
+		t.Fatalf("only %d/60 conclusive with full coverage budget", conclusive)
+	}
+}
+
+func TestNoUniversals(t *testing.T) {
+	f := dqbf.New()
+	f.AddExistential(1)
+	f.Matrix.AddDimacsClause(1)
+	if res := Refute(f, Options{}); res.Verdict != Satisfied {
+		t.Fatalf("SAT instance: %v", res.Verdict)
+	}
+	f2 := dqbf.New()
+	f2.AddExistential(1)
+	f2.Matrix.AddDimacsClause(1)
+	f2.Matrix.AddDimacsClause(-1)
+	if res := Refute(f2, Options{}); res.Verdict != Refuted {
+		t.Fatalf("UNSAT instance: %v", res.Verdict)
+	}
+}

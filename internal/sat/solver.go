@@ -1,0 +1,749 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT solver.
+//
+// The solver follows the architecture of MiniSat-style solvers: two-literal
+// watching for unit propagation, VSIDS variable activities with a binary heap,
+// first-UIP conflict analysis with recursive clause minimization, phase
+// saving, Luby-sequence restarts, and LBD/activity-based learned-clause
+// deletion. It supports incremental solving under assumptions and extraction
+// of the subset of assumptions responsible for unsatisfiability.
+//
+// It is the oracle for every higher layer in this repository: the partial
+// MaxSAT solver, SAT sweeping on AIGs, the final SAT checks of the QBF and
+// DQBF solvers, and the instantiation-based iDQ baseline.
+package sat
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/cnf"
+)
+
+// Status is the result of a Solve call.
+type Status int
+
+const (
+	// Unknown means the solver stopped before reaching a verdict (budget).
+	Unknown Status = iota
+	// Sat means a satisfying assignment was found.
+	Sat
+	// Unsat means the formula (under the given assumptions) is unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// ErrBudget is returned by SolveErr when the conflict or propagation budget
+// is exhausted before a verdict is reached.
+var ErrBudget = errors.New("sat: budget exhausted")
+
+type lbool int8
+
+const (
+	lUndef lbool = 0
+	lTrue  lbool = 1
+	lFalse lbool = -1
+)
+
+// clause stores literals plus learning metadata.
+type clause struct {
+	lits     []cnf.Lit
+	activity float64
+	lbd      int
+	learnt   bool
+	deleted  bool
+}
+
+// watcher references a clause watching some literal; blocker is a literal of
+// the clause that, when true, lets propagation skip the clause entirely.
+type watcher struct {
+	cref    int
+	blocker cnf.Lit
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; use New.
+type Solver struct {
+	clauses []*clause // problem + learned clauses (index = cref)
+	free    []int     // recycled clause slots
+
+	watches [][]watcher // indexed by int(lit)
+
+	assign   []lbool   // indexed by var
+	level    []int     // decision level per var
+	reason   []int     // antecedent clause per var, -1 if decision/none
+	polarity []bool    // saved phase per var (true = last assigned true)
+	activity []float64 // VSIDS activity per var
+
+	trail    []cnf.Lit
+	trailLim []int // decision-level boundaries in trail
+	qhead    int
+
+	heap       varHeap
+	varInc     float64
+	varDec     float64
+	claInc     float64
+	claDec     float64
+	seen       []byte
+	toClear    []cnf.Var
+	numVars    int
+	numLearnts int
+	numProblem int
+
+	ok bool // false once a top-level conflict is derived
+
+	assumptions []cnf.Lit
+	conflictSet []cnf.Lit // failed assumptions after Unsat-under-assumptions
+
+	model cnf.Assignment
+
+	// Budgets; <= 0 means unlimited.
+	ConflictBudget    int64
+	PropagationBudget int64
+
+	// Statistics.
+	Stats Stats
+
+	rngState uint64
+}
+
+// Stats collects solver counters.
+type Stats struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Restarts     int64
+	Learned      int64
+	Removed      int64
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		varInc:   1,
+		varDec:   0.95,
+		claInc:   1,
+		claDec:   0.999,
+		ok:       true,
+		rngState: 0x9e3779b97f4a7c15,
+	}
+	// Variable 0 is unused; keep slot for dense indexing.
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, -1)
+	s.polarity = append(s.polarity, false)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	return s
+}
+
+// NumVars returns the number of allocated variables.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// NewVar allocates a fresh variable and returns it.
+func (s *Solver) NewVar() cnf.Var {
+	s.numVars++
+	v := cnf.Var(s.numVars)
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, -1)
+	s.polarity = append(s.polarity, false)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, 0)
+	s.watches = append(s.watches, nil, nil)
+	s.heap.insert(v, s.activity)
+	return v
+}
+
+// EnsureVars allocates variables up to and including n.
+func (s *Solver) EnsureVars(n int) {
+	for s.numVars < n {
+		s.NewVar()
+	}
+}
+
+func (s *Solver) value(l cnf.Lit) lbool {
+	a := s.assign[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		return -a
+	}
+	return a
+}
+
+// Okay reports whether the clause database is still consistent at level 0.
+func (s *Solver) Okay() bool { return s.ok }
+
+// AddClause adds a clause. It returns false if the solver is already in an
+// unsatisfiable state (now or before). Adding at decision level 0 only.
+func (s *Solver) AddClause(lits ...cnf.Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause above decision level 0")
+	}
+	c := make(cnf.Clause, len(lits))
+	copy(c, lits)
+	cl, taut := c.Normalize()
+	if taut {
+		return true
+	}
+	// Remove false literals, detect satisfied clause.
+	out := cl[:0]
+	for _, l := range cl {
+		if int(l.Var()) > s.numVars {
+			s.EnsureVars(int(l.Var()))
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true
+		case lUndef:
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], -1)
+		if s.propagate() != -1 {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	s.attachClause(&clause{lits: out})
+	s.numProblem++
+	return true
+}
+
+// AddFormula adds all clauses of f, allocating variables as needed.
+func (s *Solver) AddFormula(f *cnf.Formula) bool {
+	s.EnsureVars(f.NumVars)
+	for _, c := range f.Clauses {
+		if !s.AddClause(c...) {
+			return false
+		}
+	}
+	return s.ok
+}
+
+func (s *Solver) allocClause(c *clause) int {
+	if n := len(s.free); n > 0 {
+		cref := s.free[n-1]
+		s.free = s.free[:n-1]
+		s.clauses[cref] = c
+		return cref
+	}
+	s.clauses = append(s.clauses, c)
+	return len(s.clauses) - 1
+}
+
+func (s *Solver) attachClause(c *clause) int {
+	if len(c.lits) < 2 {
+		panic("sat: attaching short clause")
+	}
+	cref := s.allocClause(c)
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{cref, l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{cref, l0})
+	return cref
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+func (s *Solver) uncheckedEnqueue(l cnf.Lit, from int) {
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.polarity[v] = !l.Neg()
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; returns the cref of a conflicting
+// clause or -1.
+func (s *Solver) propagate() int {
+	for s.qhead < len(s.trail) {
+		l := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[l]
+		j := 0
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if s.value(w.blocker) == lTrue {
+				ws[j] = w
+				j++
+				continue
+			}
+			c := s.clauses[w.cref]
+			lits := c.lits
+			// Make sure the false literal (¬l) is lits[1].
+			nl := l.Not()
+			if lits[0] == nl {
+				lits[0], lits[1] = lits[1], lits[0]
+			}
+			first := lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				ws[j] = watcher{w.cref, first}
+				j++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(lits); k++ {
+				if s.value(lits[k]) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					s.watches[lits[1].Not()] = append(s.watches[lits[1].Not()], watcher{w.cref, first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[j] = watcher{w.cref, first}
+			j++
+			if s.value(first) == lFalse {
+				// Conflict: copy remaining watchers and bail out.
+				for i++; i < len(ws); i++ {
+					ws[j] = ws[i]
+					j++
+				}
+				s.watches[l] = ws[:j]
+				s.qhead = len(s.trail)
+				return w.cref
+			}
+			s.uncheckedEnqueue(first, w.cref)
+		}
+		s.watches[l] = ws[:j]
+	}
+	return -1
+}
+
+func (s *Solver) cancelUntil(lvl int) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= bound; i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.reason[v] = -1
+		if !s.heap.contains(v) {
+			s.heap.insert(v, s.activity)
+		}
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) bumpVar(v cnf.Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.heap.update(v, s.activity)
+}
+
+func (s *Solver) bumpClause(c *clause) {
+	c.activity += s.claInc
+	if c.activity > 1e20 {
+		for _, d := range s.clauses {
+			if d != nil && d.learnt {
+				d.activity *= 1e-20
+			}
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+// analyze performs first-UIP conflict analysis. It returns the learned clause
+// (with the asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl int) ([]cnf.Lit, int) {
+	learnt := []cnf.Lit{0} // slot 0 for the asserting literal
+	counter := 0
+	var p cnf.Lit
+	idx := len(s.trail) - 1
+	first := true
+
+	for {
+		c := s.clauses[confl]
+		if c.learnt {
+			s.bumpClause(c)
+		}
+		start := 0
+		if !first {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if s.seen[v] == 0 && s.level[v] > 0 {
+				s.seen[v] = 1
+				s.bumpVar(v)
+				if s.level[v] >= s.decisionLevel() {
+					counter++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		first = false
+		// Find next literal on the trail to expand.
+		for s.seen[s.trail[idx].Var()] == 0 {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		s.seen[p.Var()] = 0
+		counter--
+		if counter == 0 {
+			break
+		}
+		confl = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+
+	// Clause minimization: remove literals implied by the rest.
+	s.toClear = s.toClear[:0]
+	for _, l := range learnt {
+		s.seen[l.Var()] = 1
+		s.toClear = append(s.toClear, l.Var())
+	}
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].Var()
+		if s.reason[v] == -1 || !s.litRedundant(learnt[i]) {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+	for _, v := range s.toClear {
+		s.seen[v] = 0
+	}
+
+	// Compute backtrack level: second-highest level in the clause.
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+	return learnt, btLevel
+}
+
+// litRedundant reports whether l is implied by the other marked literals,
+// following reasons recursively (with an explicit stack). Variables marked
+// during a successful check stay marked (they are redundant too) and are
+// recorded in s.toClear for the caller to reset.
+func (s *Solver) litRedundant(l cnf.Lit) bool {
+	type frame struct {
+		cref int
+		i    int
+	}
+	var stack []frame
+	newlyMarked := len(s.toClear)
+	stack = append(stack, frame{s.reason[l.Var()], 1})
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		c := s.clauses[f.cref]
+		if f.i >= len(c.lits) {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		q := c.lits[f.i]
+		f.i++
+		v := q.Var()
+		if s.level[v] == 0 || s.seen[v] == 1 {
+			continue
+		}
+		if s.reason[v] == -1 {
+			for _, u := range s.toClear[newlyMarked:] {
+				s.seen[u] = 0
+			}
+			s.toClear = s.toClear[:newlyMarked]
+			return false
+		}
+		s.seen[v] = 1
+		s.toClear = append(s.toClear, v)
+		stack = append(stack, frame{s.reason[v], 1})
+	}
+	return true
+}
+
+func (s *Solver) computeLBD(lits []cnf.Lit) int {
+	levels := map[int]struct{}{}
+	for _, l := range lits {
+		levels[s.level[l.Var()]] = struct{}{}
+	}
+	return len(levels)
+}
+
+func (s *Solver) pickBranchLit() (cnf.Lit, bool) {
+	for !s.heap.empty() {
+		v := s.heap.removeTop(s.activity)
+		if s.assign[v] == lUndef {
+			return cnf.NewLit(v, !s.polarity[v]), true
+		}
+	}
+	return 0, false
+}
+
+// reduceDB removes roughly half of the learned clauses, keeping low-LBD and
+// high-activity ones.
+func (s *Solver) reduceDB() {
+	var learnts []int
+	for cref, c := range s.clauses {
+		if c != nil && c.learnt && !c.deleted {
+			learnts = append(learnts, cref)
+		}
+	}
+	// Sort by (lbd, -activity): keep the glue clauses.
+	sort.Slice(learnts, func(i, j int) bool {
+		a, b := s.clauses[learnts[i]], s.clauses[learnts[j]]
+		if a.lbd != b.lbd {
+			return a.lbd < b.lbd
+		}
+		return a.activity > b.activity
+	})
+	for _, cref := range learnts[len(learnts)/2:] {
+		c := s.clauses[cref]
+		if c.lbd <= 2 || s.isReason(cref) {
+			continue
+		}
+		s.detachClause(cref)
+		s.Stats.Removed++
+	}
+}
+
+func (s *Solver) isReason(cref int) bool {
+	c := s.clauses[cref]
+	v := c.lits[0].Var()
+	return s.reason[v] == cref && s.assign[v] != lUndef
+}
+
+func (s *Solver) detachClause(cref int) {
+	c := s.clauses[cref]
+	c.deleted = true
+	if c.learnt {
+		s.numLearnts--
+	}
+	for _, l := range []cnf.Lit{c.lits[0], c.lits[1]} {
+		ws := s.watches[l.Not()]
+		for i, w := range ws {
+			if w.cref == cref {
+				ws[i] = ws[len(ws)-1]
+				s.watches[l.Not()] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+	s.clauses[cref] = nil
+	s.free = append(s.free, cref)
+}
+
+// luby computes the Luby restart sequence value for index i (1-based):
+// 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
+func luby(i int64) int64 {
+	x := i - 1
+	size, seq := int64(1), 0
+	for size < x+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != x {
+		size = (size - 1) >> 1
+		seq--
+		x %= size
+	}
+	return int64(1) << uint(seq)
+}
+
+// Solve determines satisfiability of the current clause set.
+func (s *Solver) Solve() Status { return s.SolveAssuming(nil) }
+
+// SolveAssuming determines satisfiability under the given assumption literals.
+// On Sat, Model returns a full assignment. On Unsat, FailedAssumptions returns
+// a subset of the assumptions that is already unsatisfiable together with the
+// clause set.
+func (s *Solver) SolveAssuming(assumps []cnf.Lit) Status {
+	st, _ := s.solve(assumps)
+	return st
+}
+
+// SolveErr is like SolveAssuming but reports budget exhaustion as ErrBudget.
+func (s *Solver) SolveErr(assumps []cnf.Lit) (Status, error) {
+	return s.solve(assumps)
+}
+
+func (s *Solver) solve(assumps []cnf.Lit) (Status, error) {
+	if !s.ok {
+		s.conflictSet = nil
+		return Unsat, nil
+	}
+	for _, l := range assumps {
+		s.EnsureVars(int(l.Var()))
+	}
+	s.assumptions = append(s.assumptions[:0], assumps...)
+	s.model = nil
+	s.conflictSet = nil
+	defer s.cancelUntil(0)
+
+	confBudget := s.ConflictBudget
+	propBudget := s.PropagationBudget
+	startConf := s.Stats.Conflicts
+	startProp := s.Stats.Propagations
+
+	var restarts int64
+	maxLearnts := float64(s.numProblem)/3 + 100
+
+	for {
+		restarts++
+		limit := luby(restarts) * 100
+		st := s.search(limit, &maxLearnts)
+		if st != Unknown {
+			return st, nil
+		}
+		if confBudget > 0 && s.Stats.Conflicts-startConf >= confBudget {
+			return Unknown, ErrBudget
+		}
+		if propBudget > 0 && s.Stats.Propagations-startProp >= propBudget {
+			return Unknown, ErrBudget
+		}
+		s.Stats.Restarts++
+	}
+}
+
+// search runs CDCL until a verdict, a restart (conflict limit), or budget.
+func (s *Solver) search(conflictLimit int64, maxLearnts *float64) Status {
+	var conflicts int64
+	for {
+		confl := s.propagate()
+		if confl != -1 {
+			s.Stats.Conflicts++
+			conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], -1)
+			} else {
+				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
+				cref := s.attachClause(c)
+				s.bumpClause(c)
+				s.uncheckedEnqueue(learnt[0], cref)
+				s.Stats.Learned++
+				s.numLearnts++
+			}
+			s.varInc /= s.varDec
+			s.claInc /= s.claDec
+			continue
+		}
+		// No conflict.
+		if conflicts >= conflictLimit {
+			s.cancelUntil(0)
+			return Unknown
+		}
+		if float64(s.numLearnts) >= *maxLearnts {
+			s.reduceDB()
+			*maxLearnts *= 1.1
+		}
+		// Assumptions first.
+		if s.decisionLevel() < len(s.assumptions) {
+			l := s.assumptions[s.decisionLevel()]
+			switch s.value(l) {
+			case lTrue:
+				// Dummy decision level to keep the invariant
+				// decisionLevel >= #processed assumptions.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				s.conflictSet = s.analyzeFinal(l.Not())
+				return Unsat
+			default:
+				s.Stats.Decisions++
+				s.trailLim = append(s.trailLim, len(s.trail))
+				s.uncheckedEnqueue(l, -1)
+				continue
+			}
+		}
+		l, ok := s.pickBranchLit()
+		if !ok {
+			// All variables assigned: model found.
+			s.model = cnf.NewAssignment(s.numVars)
+			for v := 1; v <= s.numVars; v++ {
+				s.model.Set(cnf.Var(v), s.assign[v] == lTrue)
+			}
+			return Sat
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.uncheckedEnqueue(l, -1)
+	}
+}
+
+// analyzeFinal computes the set of assumptions responsible for forcing
+// literal p false.
+func (s *Solver) analyzeFinal(p cnf.Lit) []cnf.Lit {
+	out := []cnf.Lit{p}
+	if s.decisionLevel() == 0 {
+		return out
+	}
+	s.seen[p.Var()] = 1
+	for i := len(s.trail) - 1; i >= s.trailLim[0]; i-- {
+		v := s.trail[i].Var()
+		if s.seen[v] == 0 {
+			continue
+		}
+		if s.reason[v] == -1 {
+			// Assumption (or decision mirroring one).
+			out = append(out, s.trail[i].Not())
+		} else {
+			c := s.clauses[s.reason[v]]
+			for _, q := range c.lits[1:] {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = 1
+				}
+			}
+		}
+		s.seen[v] = 0
+	}
+	s.seen[p.Var()] = 0
+	return out
+}
+
+// Model returns the satisfying assignment found by the last successful Solve.
+// It returns nil if the last call did not return Sat.
+func (s *Solver) Model() cnf.Assignment { return s.model }
+
+// FailedAssumptions returns, after an Unsat result of SolveAssuming, a subset
+// of the negated assumptions sufficient for unsatisfiability.
+func (s *Solver) FailedAssumptions() []cnf.Lit { return s.conflictSet }

@@ -1,0 +1,355 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// bruteForceSat decides satisfiability of f by enumerating all assignments.
+func bruteForceSat(f *cnf.Formula) bool {
+	n := f.NumVars
+	if n > 20 {
+		panic("bruteForceSat: too many variables")
+	}
+	a := cnf.NewAssignment(n)
+	for bits := 0; bits < 1<<n; bits++ {
+		for v := 1; v <= n; v++ {
+			a.Set(cnf.Var(v), bits&(1<<(v-1)) != 0)
+		}
+		if f.Eval(a) {
+			return true
+		}
+	}
+	return false
+}
+
+func lit(d int) cnf.Lit { return cnf.LitFromDimacs(d) }
+
+func TestTrivialSat(t *testing.T) {
+	s := New()
+	s.EnsureVars(2)
+	s.AddClause(lit(1), lit(2))
+	if s.Solve() != Sat {
+		t.Fatal("expected SAT")
+	}
+	m := s.Model()
+	if !m.Lit(lit(1)) && !m.Lit(lit(2)) {
+		t.Fatal("model does not satisfy clause")
+	}
+}
+
+func TestTrivialUnsat(t *testing.T) {
+	s := New()
+	s.AddClause(lit(1))
+	if s.AddClause(lit(-1)) {
+		t.Fatal("AddClause should detect conflict")
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New()
+	if s.AddClause() {
+		t.Fatal("empty clause should yield false")
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("expected UNSAT")
+	}
+}
+
+func TestNoClausesSat(t *testing.T) {
+	s := New()
+	s.EnsureVars(3)
+	if s.Solve() != Sat {
+		t.Fatal("empty formula should be SAT")
+	}
+}
+
+func TestTautologyIgnored(t *testing.T) {
+	s := New()
+	s.AddClause(lit(1), lit(-1))
+	s.AddClause(lit(-2))
+	if s.Solve() != Sat {
+		t.Fatal("expected SAT")
+	}
+	if s.Model().Get(2) {
+		t.Fatal("variable 2 must be false")
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons in n holes — classically UNSAT.
+	for n := 2; n <= 5; n++ {
+		s := New()
+		varOf := func(p, h int) cnf.Lit { return cnf.PosLit(cnf.Var(p*n + h + 1)) }
+		for p := 0; p <= n; p++ {
+			c := make([]cnf.Lit, n)
+			for h := 0; h < n; h++ {
+				c[h] = varOf(p, h)
+			}
+			s.AddClause(c...)
+		}
+		for h := 0; h < n; h++ {
+			for p1 := 0; p1 <= n; p1++ {
+				for p2 := p1 + 1; p2 <= n; p2++ {
+					s.AddClause(varOf(p1, h).Not(), varOf(p2, h).Not())
+				}
+			}
+		}
+		if s.Solve() != Unsat {
+			t.Fatalf("PHP(%d,%d) must be UNSAT", n+1, n)
+		}
+	}
+}
+
+func TestGraphColoringSat(t *testing.T) {
+	// 3-color a 5-cycle (chromatic number 3): SAT.
+	s := New()
+	varOf := func(node, col int) cnf.Lit { return cnf.PosLit(cnf.Var(node*3 + col + 1)) }
+	for v := 0; v < 5; v++ {
+		s.AddClause(varOf(v, 0), varOf(v, 1), varOf(v, 2))
+		for c1 := 0; c1 < 3; c1++ {
+			for c2 := c1 + 1; c2 < 3; c2++ {
+				s.AddClause(varOf(v, c1).Not(), varOf(v, c2).Not())
+			}
+		}
+	}
+	for v := 0; v < 5; v++ {
+		u := (v + 1) % 5
+		for c := 0; c < 3; c++ {
+			s.AddClause(varOf(v, c).Not(), varOf(u, c).Not())
+		}
+	}
+	if s.Solve() != Sat {
+		t.Fatal("C5 is 3-colorable")
+	}
+	// 2-coloring of a 5-cycle: UNSAT (odd cycle).
+	s2 := New()
+	varOf2 := func(node int) cnf.Lit { return cnf.PosLit(cnf.Var(node + 1)) }
+	for v := 0; v < 5; v++ {
+		u := (v + 1) % 5
+		s2.AddClause(varOf2(v), varOf2(u))
+		s2.AddClause(varOf2(v).Not(), varOf2(u).Not())
+	}
+	if s2.Solve() != Unsat {
+		t.Fatal("C5 is not 2-colorable")
+	}
+}
+
+func randomFormula(rng *rand.Rand, nVars, nClauses, maxLen int) *cnf.Formula {
+	f := cnf.NewFormula(nVars)
+	for i := 0; i < nClauses; i++ {
+		k := 1 + rng.Intn(maxLen)
+		c := make(cnf.Clause, 0, k)
+		for j := 0; j < k; j++ {
+			v := cnf.Var(1 + rng.Intn(nVars))
+			c = append(c, cnf.NewLit(v, rng.Intn(2) == 0))
+		}
+		f.Clauses = append(f.Clauses, c)
+	}
+	return f
+}
+
+func TestRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(12345))
+	for iter := 0; iter < 400; iter++ {
+		nVars := 3 + rng.Intn(8)
+		nClauses := 1 + rng.Intn(30)
+		f := randomFormula(rng, nVars, nClauses, 4)
+		want := bruteForceSat(f)
+		s := New()
+		if !s.AddFormula(f) {
+			if want {
+				t.Fatalf("iter %d: AddFormula says UNSAT, brute force says SAT\n%v", iter, f.Clauses)
+			}
+			continue
+		}
+		got := s.Solve()
+		if (got == Sat) != want {
+			t.Fatalf("iter %d: solver=%v brute=%v\n%v", iter, got, want, f.Clauses)
+		}
+		if got == Sat {
+			if !f.Eval(s.Model()) {
+				t.Fatalf("iter %d: model does not satisfy formula", iter)
+			}
+		}
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := New()
+	s.EnsureVars(3)
+	s.AddClause(lit(1), lit(2))
+	s.AddClause(lit(-1), lit(3))
+	if s.SolveAssuming([]cnf.Lit{lit(-2)}) != Sat {
+		t.Fatal("expected SAT under -2")
+	}
+	m := s.Model()
+	if !m.Get(1) || !m.Get(3) || m.Get(2) {
+		t.Fatalf("bad model %v", m)
+	}
+	if s.SolveAssuming([]cnf.Lit{lit(-2), lit(-1)}) != Unsat {
+		t.Fatal("expected UNSAT under {-2,-1}")
+	}
+	// Solver must stay usable incrementally.
+	if s.Solve() != Sat {
+		t.Fatal("expected SAT with no assumptions")
+	}
+}
+
+func TestFailedAssumptions(t *testing.T) {
+	s := New()
+	s.EnsureVars(4)
+	s.AddClause(lit(-1), lit(-2))
+	st := s.SolveAssuming([]cnf.Lit{lit(4), lit(1), lit(2)})
+	if st != Unsat {
+		t.Fatal("expected UNSAT")
+	}
+	failed := s.FailedAssumptions()
+	if len(failed) == 0 {
+		t.Fatal("empty failed-assumption set")
+	}
+	// The failed set must be a subset of the negated assumptions and must not
+	// include the irrelevant assumption 4.
+	for _, l := range failed {
+		d := l.Dimacs()
+		if d == -4 {
+			t.Fatal("assumption 4 is irrelevant but reported")
+		}
+		if d != -1 && d != -2 {
+			t.Fatalf("unexpected failed literal %d", d)
+		}
+	}
+}
+
+func TestIncrementalAddAfterSolve(t *testing.T) {
+	s := New()
+	s.EnsureVars(2)
+	s.AddClause(lit(1), lit(2))
+	if s.Solve() != Sat {
+		t.Fatal("SAT expected")
+	}
+	s.AddClause(lit(-1))
+	s.AddClause(lit(-2))
+	if s.Solve() != Unsat {
+		t.Fatal("UNSAT expected after strengthening")
+	}
+}
+
+func TestRandomIncrementalAssumptions(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 60; iter++ {
+		nVars := 4 + rng.Intn(6)
+		f := randomFormula(rng, nVars, 3+rng.Intn(15), 3)
+		s := New()
+		if !s.AddFormula(f) {
+			continue
+		}
+		for round := 0; round < 5; round++ {
+			// Random assumptions over distinct vars.
+			perm := rng.Perm(nVars)
+			k := rng.Intn(3)
+			var assumps []cnf.Lit
+			g := f.Clone()
+			for _, vi := range perm[:k] {
+				l := cnf.NewLit(cnf.Var(vi+1), rng.Intn(2) == 0)
+				assumps = append(assumps, l)
+				g.AddClause(l)
+			}
+			want := bruteForceSat(g)
+			got := s.SolveAssuming(assumps)
+			if (got == Sat) != want {
+				t.Fatalf("iter %d round %d: got %v want SAT=%v", iter, round, got, want)
+			}
+		}
+	}
+}
+
+func TestConflictBudget(t *testing.T) {
+	// A hard instance: PHP(7,6) with a tiny conflict budget must hit Unknown.
+	n := 6
+	s := New()
+	varOf := func(p, h int) cnf.Lit { return cnf.PosLit(cnf.Var(p*n + h + 1)) }
+	for p := 0; p <= n; p++ {
+		c := make([]cnf.Lit, n)
+		for h := 0; h < n; h++ {
+			c[h] = varOf(p, h)
+		}
+		s.AddClause(c...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(varOf(p1, h).Not(), varOf(p2, h).Not())
+			}
+		}
+	}
+	s.ConflictBudget = 10
+	st, err := s.SolveErr(nil)
+	if err != ErrBudget || st != Unknown {
+		t.Fatalf("want budget exhaustion, got %v / %v", st, err)
+	}
+	// Raising the budget must allow completion.
+	s.ConflictBudget = 0
+	if s.Solve() != Unsat {
+		t.Fatal("PHP(7,6) must be UNSAT")
+	}
+}
+
+func TestLuby(t *testing.T) {
+	want := []int64{1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8}
+	for i, w := range want {
+		if g := luby(int64(i + 1)); g != w {
+			t.Fatalf("luby(%d) = %d, want %d", i+1, g, w)
+		}
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Sat.String() != "SAT" || Unsat.String() != "UNSAT" || Unknown.String() != "UNKNOWN" {
+		t.Fatal("Status.String broken")
+	}
+}
+
+func TestManyUnitClauses(t *testing.T) {
+	s := New()
+	for v := 1; v <= 200; v++ {
+		s.AddClause(cnf.NewLit(cnf.Var(v), v%2 == 0))
+	}
+	if s.Solve() != Sat {
+		t.Fatal("unit-only formula is SAT")
+	}
+	m := s.Model()
+	for v := 1; v <= 200; v++ {
+		if m.Get(cnf.Var(v)) != (v%2 != 0) {
+			t.Fatalf("var %d has wrong value", v)
+		}
+	}
+}
+
+func TestHeapBasics(t *testing.T) {
+	var h varHeap
+	act := make([]float64, 10)
+	for v := 1; v <= 5; v++ {
+		act[v] = float64(v)
+		h.insert(cnf.Var(v), act)
+	}
+	if !h.contains(3) {
+		t.Fatal("heap should contain 3")
+	}
+	if top := h.removeTop(act); top != 5 {
+		t.Fatalf("top = %d, want 5", top)
+	}
+	act[1] = 100
+	h.update(1, act)
+	if top := h.removeTop(act); top != 1 {
+		t.Fatalf("top after update = %d, want 1", top)
+	}
+	if h.contains(1) {
+		t.Fatal("1 removed but still contained")
+	}
+}
