@@ -1,0 +1,39 @@
+GO ?= go
+
+.PHONY: build test race vet check bench bench-sat bench-sweep baseline
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-check the packages with concurrent code paths (the parallel SAT sweep
+# and the SAT substrate it drives).
+race:
+	$(GO) test -race ./internal/sat ./internal/aig
+
+# The PR gate: vet, the full test suite, and the race pass.
+check:
+	$(GO) vet ./...
+	$(GO) test ./...
+	$(GO) test -race ./internal/sat ./internal/aig
+
+# SAT-core microbenchmarks (propagation throughput, clause arena behavior).
+bench-sat:
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/sat
+
+# Sweep wall-clock, serial vs worker pool.
+bench-sweep:
+	$(GO) test -run '^$$' -bench 'BenchmarkSweep' -benchmem ./internal/aig
+
+# End-to-end paper evaluation benchmarks (Table I, Fig. 4, ablations).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .
+
+# Regenerate the committed benchmark baseline on the three PEC families.
+baseline:
+	$(GO) run ./cmd/dqbfbench -family adder,bitcell,pec_xor -count 6 -baseline BENCH_pr1.json

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro/internal/bench"
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	var (
-		family     = flag.String("family", "", "restrict to one family (adder, bitcell, lookahead, pec_xor, z4, comp, C432)")
+		family     = flag.String("family", "", "comma-separated families to run (adder, bitcell, lookahead, pec_xor, z4, comp, C432)")
 		count      = flag.Int("count", 20, "instances per family")
 		width      = flag.Int("width", 4, "maximum circuit width parameter")
 		seed       = flag.Int64("seed", 20150309, "generation seed")
@@ -34,7 +35,9 @@ func main() {
 		nodeLim    = flag.Int("node-limit", 2_000_000, "HQS AIG node limit (memout analogue)")
 		instLim    = flag.Int("inst-limit", 2_000_000, "iDQ instantiation limit (memout analogue)")
 		parallel   = flag.Int("parallel", 0, "concurrent instances (0 = NumCPU)")
+		workers    = flag.Int("workers", 1, "HQS SAT-sweeping worker pool size per instance (0 = one per CPU)")
 		scatter    = flag.String("scatter", "", "write Figure 4 scatter CSV to this file")
+		baseline   = flag.String("baseline", "", "write a machine-readable campaign baseline (JSON) to this file")
 		stats      = flag.Bool("stats", false, "print the paper's in-text statistics")
 		ablation   = flag.Bool("ablation", false, "run the HQS design-choice ablations instead of the HQS-vs-iDQ comparison")
 		scaling    = flag.Bool("scaling", false, "run a width-scaling study for the selected family (default adder)")
@@ -49,13 +52,18 @@ func main() {
 		families = append(append([]bench.Family{}, families...), bench.ExtensionFamilies...)
 	}
 	if *family != "" {
-		families = []bench.Family{bench.Family(*family)}
+		families = nil
+		for _, name := range strings.Split(*family, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				families = append(families, bench.Family(name))
+			}
+		}
 	}
 
 	if *scaling {
 		fam := bench.FamilyAdder
-		if *family != "" {
-			fam = bench.Family(*family)
+		if len(families) == 1 {
+			fam = families[0]
 		}
 		var widths []int
 		for w := 2; w <= *width+2; w++ {
@@ -112,6 +120,11 @@ func main() {
 		Parallelism:          *parallel,
 	}
 	opt.HQSOptions = bench.DefaultRunOptions().HQSOptions
+	if *workers == 0 {
+		opt.HQSOptions.Workers = -1
+	} else {
+		opt.HQSOptions.Workers = *workers
+	}
 	campaign := bench.Run(instances, opt)
 
 	if d := campaign.Disagreements(); len(d) > 0 {
@@ -127,6 +140,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nFigure 4 scatter data written to %s\n", *scatter)
+	}
+
+	if *baseline != "" {
+		if err := bench.WriteBaseline(*baseline, bench.ComputeBaseline(campaign, opt)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nBaseline written to %s\n", *baseline)
 	}
 
 	if *stats {

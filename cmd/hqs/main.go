@@ -30,6 +30,7 @@ func main() {
 		noGates    = flag.Bool("no-gates", false, "disable Tseitin gate detection")
 		noUnitPure = flag.Bool("no-unitpure", false, "disable unit/pure elimination on AIGs")
 		noSweep    = flag.Bool("no-sweep", false, "disable SAT sweeping")
+		workers    = flag.Int("workers", 1, "SAT-sweeping worker pool size (0 = one per CPU)")
 		stats      = flag.Bool("stats", false, "print solver statistics to stderr")
 	)
 	flag.Parse()
@@ -64,6 +65,11 @@ func main() {
 		opt.SweepThreshold = 0
 		opt.QBF.SweepThreshold = 0
 	}
+	if *workers == 0 {
+		opt.Workers = -1 // resolved to runtime.GOMAXPROCS(0) by the sweeper
+	} else {
+		opt.Workers = *workers
+	}
 	switch *strategy {
 	case "maxsat":
 		opt.Strategy = core.ElimMaxSAT
@@ -87,7 +93,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "c elim set        %v (maxsat %v)\n", st.ElimSet, st.ElimSetTime)
 		fmt.Fprintf(os.Stderr, "c thm1/thm2 elims %d/%d (%d copies)\n", st.UnivElims, st.ExistElims, st.CopiesMade)
 		fmt.Fprintf(os.Stderr, "c unit/pure       %d/%d in %v\n", st.UnitElims, st.PureElims, st.UnitPureTime)
-		fmt.Fprintf(os.Stderr, "c sweeps          %d, peak AIG nodes %d\n", st.Sweeps, st.PeakAIGNodes)
+		fmt.Fprintf(os.Stderr, "c sweeps          %d, peak AIG nodes %d\n", st.Sweeps+st.QBF.Sweeps, st.PeakAIGNodes)
+		sw := st.Sweep
+		sw.Add(st.QBF.Sweep)
+		fmt.Fprintf(os.Stderr, "c sweep sat calls %d over %d candidates (%d merged, pool %d)\n",
+			sw.SatCalls, sw.Candidates, sw.Merged, sw.Workers)
+		fmt.Fprintf(os.Stderr, "c sweep arena     %d bytes peak, %d compactions\n",
+			sw.ArenaBytes, sw.Compactions)
 		fmt.Fprintf(os.Stderr, "c gates detected  %d\n", len(st.Preprocess.Gates))
 	}
 	switch res.Status {

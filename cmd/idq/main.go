@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/dqbf"
@@ -19,9 +20,17 @@ func main() {
 	var (
 		timeout = flag.Duration("timeout", 0, "wall-clock limit (0 = none)")
 		maxInst = flag.Int("max-instantiations", 0, "instantiated clause limit (0 = none)")
+		workers = flag.Int("workers", 0, "cap on OS threads running Go code (0 = leave GOMAXPROCS alone)")
 		stats   = flag.Bool("stats", false, "print solver statistics to stderr")
 	)
 	flag.Parse()
+
+	// The CEGAR expansion loop itself is serial; -workers exists for flag
+	// parity with hqs and bounds the runtime's parallelism (GC, timers) so
+	// both solvers can be benchmarked under identical CPU budgets.
+	if *workers > 0 {
+		runtime.GOMAXPROCS(*workers)
+	}
 
 	var in io.Reader = os.Stdin
 	if flag.NArg() > 0 {

@@ -1,6 +1,10 @@
 package aig
 
 import (
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cnf"
@@ -54,7 +58,26 @@ func (g *Graph) edgeSim(e Ref) uint64 {
 type SweepStats struct {
 	Candidates int // simulation-equivalent pairs tried
 	Merged     int // pairs proven equivalent and merged
-	SatCalls   int
+	SatCalls   int // individual SAT oracle invocations (up to two per pair)
+	Workers    int // size of the worker pool actually used
+
+	// SAT substrate footprint, aggregated over the pool's private solvers.
+	ArenaBytes  int   // peak packed-clause-arena size of any one solver
+	Compactions int64 // arena garbage collections summed over the pool
+}
+
+// add accumulates the counters of one sweep into s (peak for ArenaBytes).
+func (s *SweepStats) Add(o SweepStats) {
+	s.Candidates += o.Candidates
+	s.Merged += o.Merged
+	s.SatCalls += o.SatCalls
+	s.Compactions += o.Compactions
+	if o.ArenaBytes > s.ArenaBytes {
+		s.ArenaBytes = o.ArenaBytes
+	}
+	if o.Workers > s.Workers {
+		s.Workers = o.Workers
+	}
 }
 
 // SweepOptions configures SAT sweeping.
@@ -67,6 +90,15 @@ type SweepOptions struct {
 	// Deadline, when nonzero, aborts the candidate loop once passed; merges
 	// proven so far are still applied (the result stays equivalent).
 	Deadline time.Time
+	// Workers is the size of the SAT worker pool checking candidate pairs.
+	// 0 or 1 runs serially; negative values use runtime.GOMAXPROCS(0). Every
+	// worker owns a private solver loaded from one shared immutable Tseitin
+	// encoding of the cone, and candidate pairs are assigned by static
+	// striding, so the proven-equivalence set is deterministic for a fixed
+	// worker count — and identical across worker counts whenever no query
+	// exhausts ConflictBudget or the Deadline (pair verdicts are independent
+	// of each other; only budget exhaustion is history-sensitive).
+	Workers int
 }
 
 // DefaultSweepOptions are a reasonable tradeoff for the solver loops.
@@ -74,11 +106,40 @@ func DefaultSweepOptions() SweepOptions {
 	return SweepOptions{SimWords: 8, ConflictBudget: 2000}
 }
 
+// poolSize resolves the Workers knob against the candidate count.
+func (o SweepOptions) poolSize(candidates int) int {
+	w := o.Workers
+	if w < 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > candidates {
+		w = candidates
+	}
+	return w
+}
+
+// sweepCand is one equivalence candidate: prove lhs ≡ rhs (both are edges
+// into the swept cone) and, if proven, redirect node to target.
+type sweepCand struct {
+	node     int32 // the node to be merged away
+	target   Ref   // replacement edge installed on success
+	lhs, rhs cnf.Lit
+}
+
 // Sweep performs FRAIG-style reduction on the cone of r: nodes with equal
 // (or complementary) simulation signatures are checked for functional
 // equivalence with SAT and merged, then the cone is rebuilt. The result is
-// functionally equivalent to r. Counterexamples from failed equivalence
-// checks refine the signatures, as in classic FRAIG construction.
+// functionally equivalent to r.
+//
+// The candidate checks run on a pool of opt.Workers SAT solvers, each private
+// to its goroutine and loaded from one shared Tseitin encoding of the cone.
+// Candidates are independent of one another (each compares a node against the
+// fixed representative of its signature class), so proven merges are applied
+// in deterministic candidate order afterwards and the swept graph is
+// bit-identical to the serial result whenever no query hits its budget.
 func (g *Graph) Sweep(r Ref, opt SweepOptions) (Ref, SweepStats) {
 	var stats SweepStats
 	if r.IsConst() {
@@ -104,34 +165,13 @@ func (g *Graph) Sweep(r Ref, opt SweepOptions) (Ref, SweepStats) {
 	}
 	seed := rng(0x2545f4914f6cdd1d)
 	patterns := make(map[cnf.Var]uint64, len(vars))
-	simulateRound := func(pat map[cnf.Var]uint64) {
-		g.Simulate(r, pat)
-		for _, n := range cone {
-			sigs[n] = append(sigs[n], g.nodes[n].sim)
-		}
-	}
 	for w := 0; w < opt.SimWords; w++ {
 		for _, v := range vars {
 			patterns[v] = seed.next()
 		}
-		simulateRound(patterns)
-	}
-
-	// One shared SAT instance: encode the whole cone once, query pairs under
-	// a miter built per query.
-	solver := sat.New()
-	builder := NewCNFBuilder(g, solver)
-	builder.Lit(r) // encode the cone
-
-	// repl maps node -> replacement edge (possibly complemented).
-	repl := make(map[int32]Ref)
-	resolve := func(e Ref) Ref {
-		for {
-			t, ok := repl[e.node()]
-			if !ok {
-				return e
-			}
-			e = t.XorSign(e.Compl())
+		g.Simulate(r, patterns)
+		for _, n := range cone {
+			sigs[n] = append(sigs[n], g.nodes[n].sim)
 		}
 	}
 
@@ -153,61 +193,132 @@ func (g *Graph) Sweep(r Ref, opt SweepOptions) (Ref, SweepStats) {
 		}
 		return bucketKey(buf), inv
 	}
-
-	checkEq := func(a, b Ref) bool {
-		stats.SatCalls++
-		la := builder.Lit(a)
-		lb := builder.Lit(b)
-		solver.ConflictBudget = opt.ConflictBudget
-		// a≠b ⇔ (a ∧ ¬b) ∨ (¬a ∧ b): query both branches via assumptions.
-		st1, err := solver.SolveErr([]cnf.Lit{la, lb.Not()})
-		if err != nil || st1 == sat.Sat {
-			return false
-		}
-		st2, err := solver.SolveErr([]cnf.Lit{la.Not(), lb})
-		if err != nil || st2 == sat.Sat {
-			return false
-		}
-		return true
-	}
-
 	buckets := make(map[bucketKey][]int32)
-	for _, n := range cone {
+	var keys []bucketKey
+	for _, n := range cone { // cone is topologically sorted, so members are too
 		key, _ := normSig(n)
+		if _, seen := buckets[key]; !seen {
+			keys = append(keys, key)
+		}
 		buckets[key] = append(buckets[key], n)
 	}
-	expired := func() bool {
-		return !opt.Deadline.IsZero() && time.Now().After(opt.Deadline)
+	// Deterministic class order: by topologically smallest representative.
+	sort.Slice(keys, func(i, j int) bool {
+		return buckets[keys[i]][0] < buckets[keys[j]][0]
+	})
+
+	// One immutable Tseitin encoding of the cone, shared by every worker.
+	formula, nodeLit := g.coneCNF(r, 0)
+	litOf := func(e Ref) cnf.Lit {
+		return nodeLit[e.node()].XorSign(e.Compl())
 	}
-	queries := 0
-	for _, members := range buckets {
+
+	// Candidate list, in deterministic order: merge each class member into
+	// its representative. A representative is never itself merged away (each
+	// node sits in exactly one class), so candidates are mutually
+	// independent and can be checked in any order — or concurrently.
+	var cands []sweepCand
+	for _, key := range keys {
+		members := buckets[key]
 		if len(members) < 2 {
 			continue
 		}
-		// Try to merge each member into the earliest (topologically smallest)
-		// representative of its class.
-		for i := 1; i < len(members); i++ {
-			queries++
-			if queries%16 == 0 && expired() {
-				goto rebuildPhase
-			}
-			repNode, n := members[0], members[i]
-			if _, already := repl[n]; already {
-				continue
-			}
-			stats.Candidates++
-			_, invRep := normSig(repNode)
+		repNode := members[0]
+		_, invRep := normSig(repNode)
+		repRef := Ref(repNode << 1).XorSign(invRep)
+		for _, n := range members[1:] {
 			_, invN := normSig(n)
-			repRef := resolve(Ref(repNode << 1).XorSign(invRep))
 			nRef := Ref(n << 1).XorSign(invN)
-			if checkEq(repRef, nRef) {
-				// n (with phase invN) equals repRef; store n -> phase-fixed edge.
-				repl[n] = repRef.XorSign(invN)
-				stats.Merged++
-			}
+			cands = append(cands, sweepCand{
+				node:   n,
+				target: repRef.XorSign(invN),
+				lhs:    litOf(repRef),
+				rhs:    litOf(nRef),
+			})
 		}
 	}
-rebuildPhase:
+	if len(cands) == 0 {
+		return r, stats
+	}
+
+	workers := opt.poolSize(len(cands))
+	stats.Workers = workers
+	proven := make([]bool, len(cands))
+	var stop atomic.Bool
+	expired := func() bool {
+		if opt.Deadline.IsZero() {
+			return false
+		}
+		if stop.Load() {
+			return true
+		}
+		if time.Now().After(opt.Deadline) {
+			stop.Store(true)
+			return true
+		}
+		return false
+	}
+
+	// runWorker checks cands[w], cands[w+workers], ... on a private solver.
+	// Static striding keeps each worker's query sequence — and therefore any
+	// budget-exhaustion outcome — deterministic for a fixed pool size.
+	runWorker := func(w int) SweepStats {
+		var st SweepStats
+		solver := sat.New()
+		solver.AddFormula(formula)
+		solver.ConflictBudget = opt.ConflictBudget
+		for i := w; i < len(cands); i += workers {
+			if st.Candidates%8 == 0 && expired() {
+				break
+			}
+			st.Candidates++
+			c := cands[i]
+			// lhs≠rhs ⇔ (lhs ∧ ¬rhs) ∨ (¬lhs ∧ rhs): query both branches
+			// via assumptions.
+			st.SatCalls++
+			s1, err := solver.SolveErr([]cnf.Lit{c.lhs, c.rhs.Not()})
+			if err != nil || s1 == sat.Sat {
+				continue
+			}
+			st.SatCalls++
+			s2, err := solver.SolveErr([]cnf.Lit{c.lhs.Not(), c.rhs})
+			if err != nil || s2 == sat.Sat {
+				continue
+			}
+			proven[i] = true
+		}
+		st.ArenaBytes = solver.ArenaBytes()
+		st.Compactions = solver.Stats.Compactions
+		return st
+	}
+
+	if workers == 1 {
+		stats.Add(runWorker(0))
+	} else {
+		workerStats := make([]SweepStats, workers)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func(w int) {
+				defer wg.Done()
+				workerStats[w] = runWorker(w)
+			}(w)
+		}
+		wg.Wait()
+		for _, st := range workerStats {
+			stats.Add(st)
+		}
+	}
+
+	// Merge phase: apply proven equivalences in candidate order. Because the
+	// verdicts are independent, this reproduces the serial merge set exactly.
+	repl := make(map[int32]Ref, len(cands))
+	for i, c := range cands {
+		if proven[i] {
+			repl[c.node] = c.target
+			stats.Merged++
+		}
+	}
 	if len(repl) == 0 {
 		return r, stats
 	}

@@ -1,0 +1,26 @@
+package aig
+
+import "testing"
+
+// benchSweep measures the wall-clock of one full sweep (simulation, SAT
+// candidate checks, rebuild) over a freshly built redundant cone, for a given
+// worker pool size. Serial vs pool variants share the construction so the
+// numbers compare directly.
+func benchSweep(b *testing.B, workers int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		g := New()
+		r := buildRedundantCone(g, 24)
+		b.StartTimer()
+		_, st := g.Sweep(r, SweepOptions{SimWords: 8, Workers: workers})
+		if st.Merged == 0 {
+			b.Fatal("benchmark cone produced no merges")
+		}
+	}
+}
+
+func BenchmarkSweepSerial(b *testing.B)      { benchSweep(b, 1) }
+func BenchmarkSweepWorkers2(b *testing.B)    { benchSweep(b, 2) }
+func BenchmarkSweepWorkers4(b *testing.B)    { benchSweep(b, 4) }
+func BenchmarkSweepWorkersAuto(b *testing.B) { benchSweep(b, -1) }

@@ -78,18 +78,31 @@ func (b *CNFBuilder) edgeLit(e Ref) cnf.Lit {
 // variable if needed). It returns the formula and the literal equivalent
 // to r; asserting that literal makes the formula equisatisfiable with r.
 func (g *Graph) ToFormula(r Ref, maxInputVar cnf.Var) (*cnf.Formula, cnf.Lit) {
+	if r.IsConst() {
+		f := cnf.NewFormula(int(maxInputVar))
+		// Represent with a fresh variable forced appropriately.
+		t := f.NewVar()
+		f.AddClause(cnf.PosLit(t))
+		return f, cnf.NewLit(t, !r.Compl())
+	}
+	f, nodeLit := g.coneCNF(r, maxInputVar)
+	return f, nodeLit[r.node()].XorSign(r.Compl())
+}
+
+// coneCNF Tseitin-encodes the whole cone of r into a standalone CNF formula
+// and returns, along with it, the positive literal of every cone node. Input
+// variables keep their AIG variable numbers; gate variables are allocated
+// above maxInputVar (raised to the largest support variable if needed).
+//
+// The formula is immutable once built, which lets SAT-sweeping workers load
+// identical private solvers from one shared encoding (see sweep.go).
+func (g *Graph) coneCNF(r Ref, maxInputVar cnf.Var) (*cnf.Formula, map[int32]cnf.Lit) {
 	for v := range g.Support(r) {
 		if v > maxInputVar {
 			maxInputVar = v
 		}
 	}
 	f := cnf.NewFormula(int(maxInputVar))
-	if r.IsConst() {
-		// Represent with a fresh variable forced appropriately.
-		t := f.NewVar()
-		f.AddClause(cnf.PosLit(t))
-		return f, cnf.NewLit(t, !r.Compl())
-	}
 	nodeLit := make(map[int32]cnf.Lit)
 	for _, n := range g.coneNodes(r) {
 		nd := &g.nodes[n]
@@ -106,7 +119,7 @@ func (g *Graph) ToFormula(r Ref, maxInputVar cnf.Var) (*cnf.Formula, cnf.Lit) {
 		f.AddClause(gl, a.Not(), c.Not())
 		nodeLit[n] = gl
 	}
-	return f, nodeLit[r.node()].XorSign(r.Compl())
+	return f, nodeLit
 }
 
 // IsSatisfiable checks satisfiability of the function rooted at r with the

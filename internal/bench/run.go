@@ -54,6 +54,12 @@ type RunResult struct {
 	// HQS instrumentation for the in-text statistics (zero for iDQ).
 	ElimSetSeconds  float64
 	UnitPureSeconds float64
+
+	// HQS SAT-sweeping substrate counters (zero for iDQ).
+	SweepSatCalls  int
+	SweepMerged    int
+	ArenaPeakBytes int
+	Compactions    int64
 }
 
 // RunOptions configure a benchmark campaign.
@@ -88,6 +94,8 @@ func RunHQS(inst Instance, opt RunOptions) RunResult {
 	o.NodeLimit = opt.HQSNodeLimit
 	start := time.Now()
 	res := core.New(o).Solve(inst.Formula)
+	sw := res.Stats.Sweep
+	sw.Add(res.Stats.QBF.Sweep)
 	rr := RunResult{
 		Instance:        inst.Name,
 		Family:          inst.Family,
@@ -96,6 +104,10 @@ func RunHQS(inst Instance, opt RunOptions) RunResult {
 		Seconds:         time.Since(start).Seconds(),
 		ElimSetSeconds:  res.Stats.ElimSetTime.Seconds(),
 		UnitPureSeconds: res.Stats.UnitPureTime.Seconds(),
+		SweepSatCalls:   sw.SatCalls,
+		SweepMerged:     sw.Merged,
+		ArenaPeakBytes:  sw.ArenaBytes,
+		Compactions:     sw.Compactions,
 	}
 	switch res.Status {
 	case core.Solved:

@@ -75,6 +75,11 @@ type Options struct {
 	SweepThreshold int
 	// SweepOptions configure individual sweeps.
 	SweepOptions aig.SweepOptions
+	// Workers, when nonzero, overrides the SAT worker-pool size of every
+	// sweep (here and in the QBF back end): 1 is serial, negative uses
+	// runtime.GOMAXPROCS(0). See aig.SweepOptions.Workers for the
+	// determinism guarantees.
+	Workers int
 	// QBF configures the back-end QBF solver.
 	QBF qbf.Options
 	// NodeLimit bounds the AIG size (the analogue of the paper's 8 GB
@@ -112,6 +117,9 @@ type Stats struct {
 	PureElims  int
 	CopiesMade int // existential copies introduced by Theorem 1
 	Sweeps     int
+	// Sweep aggregates the SAT-sweeping counters of the main loop (the QBF
+	// back end keeps its own aggregate in QBF.Sweep).
+	Sweep aig.SweepStats
 
 	PeakAIGNodes int
 	QBF          qbf.Stats
@@ -295,7 +303,12 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 			if size := g.ConeSize(m); size > lastSweepSize+s.Opt.SweepThreshold {
 				so := s.Opt.SweepOptions
 				so.Deadline = deadline
-				m, _ = g.Sweep(m, so)
+				if s.Opt.Workers != 0 {
+					so.Workers = s.Opt.Workers
+				}
+				var sst aig.SweepStats
+				m, sst = g.Sweep(m, so)
+				res.Stats.Sweep.Add(sst)
 				res.Stats.Sweeps++
 				lastSweepSize = g.ConeSize(m)
 			}
@@ -313,6 +326,9 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 	blocks := dqbf.Linearize(work)
 	qopt := s.Opt.QBF
 	qopt.Deadline = deadline
+	if s.Opt.Workers != 0 {
+		qopt.SweepOptions.Workers = s.Opt.Workers
+	}
 	qs := qbf.New(g, qopt)
 	sat, err := qs.Solve(blocks, m)
 	res.Stats.QBF = qs.Stat

@@ -59,6 +59,7 @@ type Stats struct {
 	UnitElims   int
 	PureElims   int
 	Sweeps      int
+	Sweep       aig.SweepStats // aggregated over all sweeps
 	FinalSATRun bool
 }
 
@@ -160,7 +161,9 @@ func (s *Solver) Solve(prefix []dqbf.Block, matrix aig.Ref) (result bool, err er
 			if size := s.G.ConeSize(m); size > lastSweepSize+s.Opt.SweepThreshold {
 				so := s.Opt.SweepOptions
 				so.Deadline = s.Opt.Deadline
-				m, _ = s.G.Sweep(m, so)
+				var sst aig.SweepStats
+				m, sst = s.G.Sweep(m, so)
+				s.Stat.Sweep.Add(sst)
 				s.Stat.Sweeps++
 				lastSweepSize = s.G.ConeSize(m)
 			}

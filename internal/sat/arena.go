@@ -1,0 +1,109 @@
+package sat
+
+import (
+	"math"
+
+	"repro/internal/cnf"
+)
+
+// The clause arena stores every clause of the solver in one flat slab of
+// 32-bit words instead of a slice of heap-allocated clause objects. A clause
+// is a record
+//
+//	[ header | lbd/forward | activity | lit_0 ... lit_{n-1} ]
+//
+// referenced by the word offset of its header (a cref). The header packs the
+// literal count with the learnt and deleted flags; the second word holds the
+// LBD of learnt clauses (and doubles as the forwarding address during
+// compaction); the third word holds the clause activity as float32 bits.
+//
+// The layout removes one pointer dereference and one cache line per clause
+// visit on the propagation hot path, eliminates per-clause allocations, and
+// lets clause-database reduction reclaim memory with a compacting garbage
+// collector (relocation in the style of MiniSat's ClauseAllocator).
+
+// cref references a clause by the word offset of its header in the arena.
+type cref = uint32
+
+// crefUndef marks "no clause": unset reasons and absent antecedents.
+const crefUndef cref = ^cref(0)
+
+const (
+	hdrWords = 3 // header, lbd, activity
+
+	flagLearnt  uint32 = 1 << 30
+	flagDeleted uint32 = 1 << 31
+	sizeMask    uint32 = flagLearnt - 1
+)
+
+// arena is the packed clause slab. The slab grows by appending; deleted
+// clauses keep their header (so the arena stays walkable) and their space is
+// reclaimed by compact.
+type arena struct {
+	data   []cnf.Lit // headers are stored as raw int32 bit patterns
+	wasted int       // words occupied by deleted clauses
+}
+
+// alloc appends a clause record and returns its cref.
+func (a *arena) alloc(lits []cnf.Lit, learnt bool) cref {
+	h := uint32(len(lits))
+	if learnt {
+		h |= flagLearnt
+	}
+	c := cref(len(a.data))
+	a.data = append(a.data, cnf.Lit(h), 0, 0)
+	a.data = append(a.data, lits...)
+	return c
+}
+
+func (a *arena) size(c cref) int     { return int(uint32(a.data[c]) & sizeMask) }
+func (a *arena) learnt(c cref) bool  { return uint32(a.data[c])&flagLearnt != 0 }
+func (a *arena) deleted(c cref) bool { return uint32(a.data[c])&flagDeleted != 0 }
+
+// lits returns the clause literals as a zero-copy view into the slab. The
+// view is invalidated by alloc and compact.
+func (a *arena) lits(c cref) []cnf.Lit {
+	return a.data[c+hdrWords : int(c)+hdrWords+a.size(c)]
+}
+
+func (a *arena) lbd(c cref) int     { return int(a.data[c+1]) }
+func (a *arena) setLBD(c cref, v int) { a.data[c+1] = cnf.Lit(v) }
+
+func (a *arena) activity(c cref) float32 {
+	return math.Float32frombits(uint32(a.data[c+2]))
+}
+
+func (a *arena) setActivity(c cref, v float32) {
+	a.data[c+2] = cnf.Lit(math.Float32bits(v))
+}
+
+// delete marks the clause dead and accounts its space as reclaimable.
+func (a *arena) delete(c cref) {
+	a.data[c] = cnf.Lit(uint32(a.data[c]) | flagDeleted)
+	a.wasted += hdrWords + a.size(c)
+}
+
+// words returns the slab length in 32-bit words.
+func (a *arena) words() int { return len(a.data) }
+
+// next returns the cref following c when walking the slab front to back
+// (deleted records included).
+func (a *arena) next(c cref) cref { return c + cref(hdrWords+a.size(c)) }
+
+// reloc moves the clause *c references into `to` (once; later calls reuse the
+// forwarding address stored in the old record) and updates *c. Detached
+// clauses are never relocated because nothing references them, so the deleted
+// flag is free to double as the "already moved" marker.
+func (a *arena) reloc(c *cref, to *arena) {
+	old := *c
+	if a.deleted(old) {
+		*c = cref(uint32(a.data[old+1]))
+		return
+	}
+	n := hdrWords + a.size(old)
+	moved := cref(len(to.data))
+	to.data = append(to.data, a.data[old:int(old)+n]...)
+	a.data[old] = cnf.Lit(uint32(a.data[old]) | flagDeleted)
+	a.data[old+1] = cnf.Lit(moved)
+	*c = moved
+}

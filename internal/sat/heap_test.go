@@ -1,0 +1,112 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// checkHeapInvariant verifies the max-heap ordering and the var→position
+// index after every mutation.
+func checkHeapInvariant(t *testing.T, h *varHeap, act []float64) {
+	t.Helper()
+	for i, v := range h.data {
+		if h.pos[v] != i {
+			t.Fatalf("pos[%d] = %d, but data[%d] = %d", v, h.pos[v], i, v)
+		}
+		for _, c := range []int{2*i + 1, 2*i + 2} {
+			if c < len(h.data) && act[h.data[c]] > act[v] {
+				t.Fatalf("heap violation: act[data[%d]]=%v > act[data[%d]]=%v",
+					c, act[h.data[c]], i, act[v])
+			}
+		}
+	}
+	for v, p := range h.pos {
+		if p >= 0 && (p >= len(h.data) || h.data[p] != cnf.Var(v)) {
+			t.Fatalf("stale pos entry: pos[%d] = %d", v, p)
+		}
+	}
+}
+
+// TestHeapPropertyRandom drives the VSIDS heap through random interleavings
+// of insert, activity bump (update), global decay rescale, and removeTop,
+// checking after every operation that the max-activity invariant and the
+// position index hold, and that removeTop always yields a maximal entry.
+func TestHeapPropertyRandom(t *testing.T) {
+	const nVars = 60
+	rng := rand.New(rand.NewSource(424242))
+	var h varHeap
+	act := make([]float64, nVars+1)
+	contained := make(map[cnf.Var]bool)
+
+	maxActivity := func() float64 {
+		best := -1.0
+		for v := range contained {
+			if act[v] > best {
+				best = act[v]
+			}
+		}
+		return best
+	}
+
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // insert a random variable (may already be present)
+			v := cnf.Var(1 + rng.Intn(nVars))
+			h.insert(v, act)
+			contained[v] = true
+		case op < 7: // bump: activity only ever increases, then percolates up
+			v := cnf.Var(1 + rng.Intn(nVars))
+			act[v] += rng.Float64() * 10
+			h.update(v, act)
+		case op < 8: // decay rescale: uniform scaling preserves the order
+			for i := range act {
+				act[i] *= 1e-3
+			}
+		default: // removeTop must return a maximal contained variable
+			if h.empty() {
+				continue
+			}
+			want := maxActivity()
+			got := h.removeTop(act)
+			if !contained[got] {
+				t.Fatalf("step %d: removeTop returned %d which was not contained", step, got)
+			}
+			if act[got] != want {
+				t.Fatalf("step %d: removeTop activity %v, want max %v", step, act[got], want)
+			}
+			delete(contained, got)
+		}
+		if len(h.data) != len(contained) {
+			t.Fatalf("step %d: heap size %d, tracked %d", step, len(h.data), len(contained))
+		}
+		for v := range contained {
+			if !h.contains(v) {
+				t.Fatalf("step %d: heap lost variable %d", step, v)
+			}
+		}
+		checkHeapInvariant(t, &h, act)
+	}
+}
+
+// TestHeapDrainSorted fills the heap with distinct activities and checks that
+// draining it yields variables in strictly decreasing activity order.
+func TestHeapDrainSorted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h varHeap
+	const n = 100
+	act := make([]float64, n+1)
+	for v := 1; v <= n; v++ {
+		act[v] = rng.Float64()
+		h.insert(cnf.Var(v), act)
+	}
+	prev := 2.0
+	for !h.empty() {
+		v := h.removeTop(act)
+		if act[v] > prev {
+			t.Fatalf("drain out of order: %v after %v", act[v], prev)
+		}
+		prev = act[v]
+	}
+}

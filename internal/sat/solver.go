@@ -7,6 +7,12 @@
 // deletion. It supports incremental solving under assumptions and extraction
 // of the subset of assumptions responsible for unsatisfiability.
 //
+// Clause storage is a packed arena (see arena.go): all clauses live in one
+// flat slab of 32-bit words and are referenced by offsets, which keeps the
+// propagation hot path free of pointer chasing and per-clause allocations.
+// Space freed by clause-database reduction is reclaimed by a compacting
+// garbage collector.
+//
 // It is the oracle for every higher layer in this repository: the partial
 // MaxSAT solver, SAT sweeping on AIGs, the final SAT checks of the QBF and
 // DQBF solvers, and the instantiation-based iDQ baseline.
@@ -54,32 +60,22 @@ const (
 	lFalse lbool = -1
 )
 
-// clause stores literals plus learning metadata.
-type clause struct {
-	lits     []cnf.Lit
-	activity float64
-	lbd      int
-	learnt   bool
-	deleted  bool
-}
-
 // watcher references a clause watching some literal; blocker is a literal of
 // the clause that, when true, lets propagation skip the clause entirely.
 type watcher struct {
-	cref    int
+	cref    cref
 	blocker cnf.Lit
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; use New.
 type Solver struct {
-	clauses []*clause // problem + learned clauses (index = cref)
-	free    []int     // recycled clause slots
+	ca arena // packed clause storage (problem + learned)
 
 	watches [][]watcher // indexed by int(lit)
 
 	assign   []lbool   // indexed by var
 	level    []int     // decision level per var
-	reason   []int     // antecedent clause per var, -1 if decision/none
+	reason   []cref    // antecedent clause per var, crefUndef if decision/none
 	polarity []bool    // saved phase per var (true = last assigned true)
 	activity []float64 // VSIDS activity per var
 
@@ -90,8 +86,8 @@ type Solver struct {
 	heap       varHeap
 	varInc     float64
 	varDec     float64
-	claInc     float64
-	claDec     float64
+	claInc     float32
+	claDec     float32
 	seen       []byte
 	toClear    []cnf.Var
 	numVars    int
@@ -123,6 +119,7 @@ type Stats struct {
 	Restarts     int64
 	Learned      int64
 	Removed      int64
+	Compactions  int64 // arena garbage collections
 }
 
 // New returns an empty solver.
@@ -138,7 +135,7 @@ func New() *Solver {
 	// Variable 0 is unused; keep slot for dense indexing.
 	s.assign = append(s.assign, lUndef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, -1)
+	s.reason = append(s.reason, crefUndef)
 	s.polarity = append(s.polarity, false)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
@@ -149,13 +146,16 @@ func New() *Solver {
 // NumVars returns the number of allocated variables.
 func (s *Solver) NumVars() int { return s.numVars }
 
+// ArenaBytes returns the current size of the packed clause arena in bytes.
+func (s *Solver) ArenaBytes() int { return s.ca.words() * 4 }
+
 // NewVar allocates a fresh variable and returns it.
 func (s *Solver) NewVar() cnf.Var {
 	s.numVars++
 	v := cnf.Var(s.numVars)
 	s.assign = append(s.assign, lUndef)
 	s.level = append(s.level, 0)
-	s.reason = append(s.reason, -1)
+	s.reason = append(s.reason, crefUndef)
 	s.polarity = append(s.polarity, false)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
@@ -218,14 +218,14 @@ func (s *Solver) AddClause(lits ...cnf.Lit) bool {
 		s.ok = false
 		return false
 	case 1:
-		s.uncheckedEnqueue(out[0], -1)
-		if s.propagate() != -1 {
+		s.uncheckedEnqueue(out[0], crefUndef)
+		if s.propagate() != crefUndef {
 			s.ok = false
 			return false
 		}
 		return true
 	}
-	s.attachClause(&clause{lits: out})
+	s.attachClause(out, false)
 	s.numProblem++
 	return true
 }
@@ -241,31 +241,21 @@ func (s *Solver) AddFormula(f *cnf.Formula) bool {
 	return s.ok
 }
 
-func (s *Solver) allocClause(c *clause) int {
-	if n := len(s.free); n > 0 {
-		cref := s.free[n-1]
-		s.free = s.free[:n-1]
-		s.clauses[cref] = c
-		return cref
-	}
-	s.clauses = append(s.clauses, c)
-	return len(s.clauses) - 1
-}
-
-func (s *Solver) attachClause(c *clause) int {
-	if len(c.lits) < 2 {
+// attachClause allocates a clause in the arena and registers its watchers.
+func (s *Solver) attachClause(lits []cnf.Lit, learnt bool) cref {
+	if len(lits) < 2 {
 		panic("sat: attaching short clause")
 	}
-	cref := s.allocClause(c)
-	l0, l1 := c.lits[0], c.lits[1]
-	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{cref, l1})
-	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{cref, l0})
-	return cref
+	c := s.ca.alloc(lits, learnt)
+	l0, l1 := lits[0], lits[1]
+	s.watches[l0.Not()] = append(s.watches[l0.Not()], watcher{c, l1})
+	s.watches[l1.Not()] = append(s.watches[l1.Not()], watcher{c, l0})
+	return c
 }
 
 func (s *Solver) decisionLevel() int { return len(s.trailLim) }
 
-func (s *Solver) uncheckedEnqueue(l cnf.Lit, from int) {
+func (s *Solver) uncheckedEnqueue(l cnf.Lit, from cref) {
 	v := l.Var()
 	if l.Neg() {
 		s.assign[v] = lFalse
@@ -279,24 +269,27 @@ func (s *Solver) uncheckedEnqueue(l cnf.Lit, from int) {
 }
 
 // propagate performs unit propagation; returns the cref of a conflicting
-// clause or -1.
-func (s *Solver) propagate() int {
+// clause or crefUndef.
+func (s *Solver) propagate() cref {
 	for s.qhead < len(s.trail) {
 		l := s.trail[s.qhead]
 		s.qhead++
 		s.Stats.Propagations++
 		ws := s.watches[l]
+		// Only the watchers present when the scan starts are visited; anything
+		// appended to s.watches[l] during the scan (a same-literal re-watch)
+		// lands past n and is preserved by the tail copy below.
+		n := len(ws)
 		j := 0
 	nextWatcher:
-		for i := 0; i < len(ws); i++ {
+		for i := 0; i < n; i++ {
 			w := ws[i]
 			if s.value(w.blocker) == lTrue {
 				ws[j] = w
 				j++
 				continue
 			}
-			c := s.clauses[w.cref]
-			lits := c.lits
+			lits := s.ca.lits(w.cref)
 			// Make sure the false literal (¬l) is lits[1].
 			nl := l.Not()
 			if lits[0] == nl {
@@ -312,7 +305,15 @@ func (s *Solver) propagate() int {
 			for k := 2; k < len(lits); k++ {
 				if s.value(lits[k]) != lFalse {
 					lits[1], lits[k] = lits[k], lits[1]
-					s.watches[lits[1].Not()] = append(s.watches[lits[1].Not()], watcher{w.cref, first})
+					wl := lits[1].Not()
+					s.watches[wl] = append(s.watches[wl], watcher{w.cref, first})
+					if wl == l {
+						// The append aliased the slice being scanned and may
+						// have grown or moved it; re-read so the copy-back
+						// below does not drop the new watcher (regression
+						// test: TestPropagateSelfAppendRewatch).
+						ws = s.watches[l]
+					}
 					continue nextWatcher
 				}
 			}
@@ -321,19 +322,22 @@ func (s *Solver) propagate() int {
 			j++
 			if s.value(first) == lFalse {
 				// Conflict: copy remaining watchers and bail out.
-				for i++; i < len(ws); i++ {
+				for i++; i < n; i++ {
 					ws[j] = ws[i]
 					j++
 				}
+				j += copy(ws[j:], ws[n:])
 				s.watches[l] = ws[:j]
 				s.qhead = len(s.trail)
 				return w.cref
 			}
 			s.uncheckedEnqueue(first, w.cref)
 		}
+		// Keep watchers appended during the scan.
+		j += copy(ws[j:], ws[n:])
 		s.watches[l] = ws[:j]
 	}
-	return -1
+	return crefUndef
 }
 
 func (s *Solver) cancelUntil(lvl int) {
@@ -344,7 +348,7 @@ func (s *Solver) cancelUntil(lvl int) {
 	for i := len(s.trail) - 1; i >= bound; i-- {
 		v := s.trail[i].Var()
 		s.assign[v] = lUndef
-		s.reason[v] = -1
+		s.reason[v] = crefUndef
 		if !s.heap.contains(v) {
 			s.heap.insert(v, s.activity)
 		}
@@ -365,12 +369,13 @@ func (s *Solver) bumpVar(v cnf.Var) {
 	s.heap.update(v, s.activity)
 }
 
-func (s *Solver) bumpClause(c *clause) {
-	c.activity += s.claInc
-	if c.activity > 1e20 {
-		for _, d := range s.clauses {
-			if d != nil && d.learnt {
-				d.activity *= 1e-20
+func (s *Solver) bumpClause(c cref) {
+	act := s.ca.activity(c) + s.claInc
+	s.ca.setActivity(c, act)
+	if act > 1e20 {
+		for d := cref(0); int(d) < s.ca.words(); d = s.ca.next(d) {
+			if s.ca.learnt(d) && !s.ca.deleted(d) {
+				s.ca.setActivity(d, s.ca.activity(d)*1e-20)
 			}
 		}
 		s.claInc *= 1e-20
@@ -379,7 +384,7 @@ func (s *Solver) bumpClause(c *clause) {
 
 // analyze performs first-UIP conflict analysis. It returns the learned clause
 // (with the asserting literal first) and the backtrack level.
-func (s *Solver) analyze(confl int) ([]cnf.Lit, int) {
+func (s *Solver) analyze(confl cref) ([]cnf.Lit, int) {
 	learnt := []cnf.Lit{0} // slot 0 for the asserting literal
 	counter := 0
 	var p cnf.Lit
@@ -387,15 +392,15 @@ func (s *Solver) analyze(confl int) ([]cnf.Lit, int) {
 	first := true
 
 	for {
-		c := s.clauses[confl]
-		if c.learnt {
-			s.bumpClause(c)
+		if s.ca.learnt(confl) {
+			s.bumpClause(confl)
 		}
+		lits := s.ca.lits(confl)
 		start := 0
 		if !first {
 			start = 1
 		}
-		for _, q := range c.lits[start:] {
+		for _, q := range lits[start:] {
 			v := q.Var()
 			if s.seen[v] == 0 && s.level[v] > 0 {
 				s.seen[v] = 1
@@ -432,7 +437,7 @@ func (s *Solver) analyze(confl int) ([]cnf.Lit, int) {
 	j := 1
 	for i := 1; i < len(learnt); i++ {
 		v := learnt[i].Var()
-		if s.reason[v] == -1 || !s.litRedundant(learnt[i]) {
+		if s.reason[v] == crefUndef || !s.litRedundant(learnt[i]) {
 			learnt[j] = learnt[i]
 			j++
 		}
@@ -463,7 +468,7 @@ func (s *Solver) analyze(confl int) ([]cnf.Lit, int) {
 // recorded in s.toClear for the caller to reset.
 func (s *Solver) litRedundant(l cnf.Lit) bool {
 	type frame struct {
-		cref int
+		cref cref
 		i    int
 	}
 	var stack []frame
@@ -471,18 +476,18 @@ func (s *Solver) litRedundant(l cnf.Lit) bool {
 	stack = append(stack, frame{s.reason[l.Var()], 1})
 	for len(stack) > 0 {
 		f := &stack[len(stack)-1]
-		c := s.clauses[f.cref]
-		if f.i >= len(c.lits) {
+		lits := s.ca.lits(f.cref)
+		if f.i >= len(lits) {
 			stack = stack[:len(stack)-1]
 			continue
 		}
-		q := c.lits[f.i]
+		q := lits[f.i]
 		f.i++
 		v := q.Var()
 		if s.level[v] == 0 || s.seen[v] == 1 {
 			continue
 		}
-		if s.reason[v] == -1 {
+		if s.reason[v] == crefUndef {
 			for _, u := range s.toClear[newlyMarked:] {
 				s.seen[u] = 0
 			}
@@ -515,56 +520,76 @@ func (s *Solver) pickBranchLit() (cnf.Lit, bool) {
 }
 
 // reduceDB removes roughly half of the learned clauses, keeping low-LBD and
-// high-activity ones.
+// high-activity ones, then compacts the arena when enough space is dead.
 func (s *Solver) reduceDB() {
-	var learnts []int
-	for cref, c := range s.clauses {
-		if c != nil && c.learnt && !c.deleted {
-			learnts = append(learnts, cref)
+	var learnts []cref
+	for c := cref(0); int(c) < s.ca.words(); c = s.ca.next(c) {
+		if s.ca.learnt(c) && !s.ca.deleted(c) {
+			learnts = append(learnts, c)
 		}
 	}
 	// Sort by (lbd, -activity): keep the glue clauses.
 	sort.Slice(learnts, func(i, j int) bool {
-		a, b := s.clauses[learnts[i]], s.clauses[learnts[j]]
-		if a.lbd != b.lbd {
-			return a.lbd < b.lbd
+		a, b := learnts[i], learnts[j]
+		if la, lb := s.ca.lbd(a), s.ca.lbd(b); la != lb {
+			return la < lb
 		}
-		return a.activity > b.activity
+		return s.ca.activity(a) > s.ca.activity(b)
 	})
-	for _, cref := range learnts[len(learnts)/2:] {
-		c := s.clauses[cref]
-		if c.lbd <= 2 || s.isReason(cref) {
+	for _, c := range learnts[len(learnts)/2:] {
+		if s.ca.lbd(c) <= 2 || s.isReason(c) {
 			continue
 		}
-		s.detachClause(cref)
+		s.detachClause(c)
 		s.Stats.Removed++
 	}
+	// Compact once a fifth of the slab is dead.
+	if s.ca.wasted*5 >= s.ca.words() {
+		s.garbageCollect()
+	}
 }
 
-func (s *Solver) isReason(cref int) bool {
-	c := s.clauses[cref]
-	v := c.lits[0].Var()
-	return s.reason[v] == cref && s.assign[v] != lUndef
+// garbageCollect compacts the arena: live clauses move to a fresh slab and
+// every cref in the watcher lists and reason array is relocated.
+func (s *Solver) garbageCollect() {
+	to := arena{data: make([]cnf.Lit, 0, s.ca.words()-s.ca.wasted)}
+	for i := range s.watches {
+		ws := s.watches[i]
+		for j := range ws {
+			s.ca.reloc(&ws[j].cref, &to)
+		}
+	}
+	// Reasons are set only for assigned variables, i.e. those on the trail.
+	for _, l := range s.trail {
+		if r := &s.reason[l.Var()]; *r != crefUndef {
+			s.ca.reloc(r, &to)
+		}
+	}
+	s.ca = to
+	s.Stats.Compactions++
 }
 
-func (s *Solver) detachClause(cref int) {
-	c := s.clauses[cref]
-	c.deleted = true
-	if c.learnt {
+func (s *Solver) isReason(c cref) bool {
+	v := s.ca.lits(c)[0].Var()
+	return s.reason[v] == c && s.assign[v] != lUndef
+}
+
+func (s *Solver) detachClause(c cref) {
+	lits := s.ca.lits(c)
+	if s.ca.learnt(c) {
 		s.numLearnts--
 	}
-	for _, l := range []cnf.Lit{c.lits[0], c.lits[1]} {
+	for _, l := range []cnf.Lit{lits[0], lits[1]} {
 		ws := s.watches[l.Not()]
 		for i, w := range ws {
-			if w.cref == cref {
+			if w.cref == c {
 				ws[i] = ws[len(ws)-1]
 				s.watches[l.Not()] = ws[:len(ws)-1]
 				break
 			}
 		}
 	}
-	s.clauses[cref] = nil
-	s.free = append(s.free, cref)
+	s.ca.delete(c)
 }
 
 // luby computes the Luby restart sequence value for index i (1-based):
@@ -644,7 +669,7 @@ func (s *Solver) search(conflictLimit int64, maxLearnts *float64) Status {
 	var conflicts int64
 	for {
 		confl := s.propagate()
-		if confl != -1 {
+		if confl != crefUndef {
 			s.Stats.Conflicts++
 			conflicts++
 			if s.decisionLevel() == 0 {
@@ -654,12 +679,12 @@ func (s *Solver) search(conflictLimit int64, maxLearnts *float64) Status {
 			learnt, btLevel := s.analyze(confl)
 			s.cancelUntil(btLevel)
 			if len(learnt) == 1 {
-				s.uncheckedEnqueue(learnt[0], -1)
+				s.uncheckedEnqueue(learnt[0], crefUndef)
 			} else {
-				c := &clause{lits: learnt, learnt: true, lbd: s.computeLBD(learnt)}
-				cref := s.attachClause(c)
+				c := s.attachClause(learnt, true)
+				s.ca.setLBD(c, s.computeLBD(learnt))
 				s.bumpClause(c)
-				s.uncheckedEnqueue(learnt[0], cref)
+				s.uncheckedEnqueue(learnt[0], c)
 				s.Stats.Learned++
 				s.numLearnts++
 			}
@@ -691,7 +716,7 @@ func (s *Solver) search(conflictLimit int64, maxLearnts *float64) Status {
 			default:
 				s.Stats.Decisions++
 				s.trailLim = append(s.trailLim, len(s.trail))
-				s.uncheckedEnqueue(l, -1)
+				s.uncheckedEnqueue(l, crefUndef)
 				continue
 			}
 		}
@@ -706,7 +731,7 @@ func (s *Solver) search(conflictLimit int64, maxLearnts *float64) Status {
 		}
 		s.Stats.Decisions++
 		s.trailLim = append(s.trailLim, len(s.trail))
-		s.uncheckedEnqueue(l, -1)
+		s.uncheckedEnqueue(l, crefUndef)
 	}
 }
 
@@ -723,12 +748,11 @@ func (s *Solver) analyzeFinal(p cnf.Lit) []cnf.Lit {
 		if s.seen[v] == 0 {
 			continue
 		}
-		if s.reason[v] == -1 {
+		if s.reason[v] == crefUndef {
 			// Assumption (or decision mirroring one).
 			out = append(out, s.trail[i].Not())
 		} else {
-			c := s.clauses[s.reason[v]]
-			for _, q := range c.lits[1:] {
+			for _, q := range s.ca.lits(s.reason[v])[1:] {
 				if s.level[q.Var()] > 0 {
 					s.seen[q.Var()] = 1
 				}

@@ -353,3 +353,139 @@ func TestHeapBasics(t *testing.T) {
 		t.Fatal("1 removed but still contained")
 	}
 }
+
+// TestPropagateSelfAppendRewatch is a white-box regression test for the
+// watcher-list self-append hazard: if a clause scanned from watches[l] picks a
+// new watch whose negation is l itself, the append targets the very slice
+// being scanned. If propagate keeps working on a stale snapshot, the appended
+// watcher is dropped when the compacted prefix is written back, silently
+// losing the clause from the watch lists.
+//
+// The hazard is unreachable through the public API (the false literal ¬l can
+// never be chosen as a new watch while l is assigned), so the state is
+// fabricated directly: the clause contains ¬l twice and l is placed on the
+// trail without assigning it, which makes ¬l look unassigned during the scan
+// and forces a same-literal re-watch.
+func TestPropagateSelfAppendRewatch(t *testing.T) {
+	s := New()
+	s.EnsureVars(2)
+	a := cnf.PosLit(1)
+	l := cnf.PosLit(2)
+
+	// Attach directly to bypass AddClause normalization (the duplicate ¬l is
+	// what creates the re-watch on ¬l).
+	s.attachClause([]cnf.Lit{a.Not(), l.Not(), l.Not()}, false)
+	if len(s.watches[l]) != 1 {
+		t.Fatalf("setup: watches[l] has %d watchers, want 1", len(s.watches[l]))
+	}
+
+	s.assign[1] = lTrue                // ¬a is false: the scan must look for a new watch
+	s.trail = append(s.trail, l)       // scan watches[l] with ¬l still unassigned
+	if confl := s.propagate(); confl != crefUndef {
+		t.Fatalf("unexpected conflict %d", confl)
+	}
+
+	// The re-watch appended {clause, ¬a} to watches[l] mid-scan; it must have
+	// survived the copy-back.
+	if got := len(s.watches[l]); got != 1 {
+		t.Fatalf("watches[l] has %d watchers after self-append, want 1 (watcher lost)", got)
+	}
+	if blk := s.watches[l][0].blocker; blk != a.Not() {
+		t.Fatalf("surviving watcher has blocker %v, want %v", blk, a.Not())
+	}
+}
+
+// addPHP adds the clauses of the pigeonhole principle PHP(n+1, n).
+func addPHP(s *Solver, n int) {
+	varOf := func(p, h int) cnf.Lit { return cnf.PosLit(cnf.Var(p*n + h + 1)) }
+	for p := 0; p <= n; p++ {
+		c := make([]cnf.Lit, n)
+		for h := 0; h < n; h++ {
+			c[h] = varOf(p, h)
+		}
+		s.AddClause(c...)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				s.AddClause(varOf(p1, h).Not(), varOf(p2, h).Not())
+			}
+		}
+	}
+}
+
+// TestArenaCompaction drives the solver through enough clause learning and
+// database reduction that the arena garbage collector runs, and checks the
+// solver stays sound across compactions.
+func TestArenaCompaction(t *testing.T) {
+	s := New()
+	addPHP(s, 7)
+	if s.Solve() != Unsat {
+		t.Fatal("PHP(8,7) must be UNSAT")
+	}
+	if s.Stats.Removed == 0 {
+		t.Fatal("expected reduceDB to remove learned clauses")
+	}
+	if s.Stats.Compactions == 0 {
+		t.Fatal("expected at least one arena compaction")
+	}
+	if s.ArenaBytes() <= 0 {
+		t.Fatal("arena bytes must be positive")
+	}
+	// The solver must remain usable after compaction.
+	s2 := New()
+	addPHP(s2, 6)
+	if s2.Solve() != Unsat {
+		t.Fatal("PHP(7,6) must be UNSAT")
+	}
+}
+
+// TestArenaRecord exercises the raw arena record operations.
+func TestArenaRecord(t *testing.T) {
+	var a arena
+	c1 := a.alloc([]cnf.Lit{lit(1), lit(-2), lit(3)}, false)
+	c2 := a.alloc([]cnf.Lit{lit(4), lit(5)}, true)
+	if a.size(c1) != 3 || a.size(c2) != 2 {
+		t.Fatalf("sizes %d/%d, want 3/2", a.size(c1), a.size(c2))
+	}
+	if a.learnt(c1) || !a.learnt(c2) {
+		t.Fatal("learnt flags wrong")
+	}
+	a.setLBD(c2, 5)
+	if a.lbd(c2) != 5 {
+		t.Fatalf("lbd = %d, want 5", a.lbd(c2))
+	}
+	a.setActivity(c2, 2.5)
+	if a.activity(c2) != 2.5 {
+		t.Fatalf("activity = %v, want 2.5", a.activity(c2))
+	}
+	got := a.lits(c1)
+	want := []cnf.Lit{lit(1), lit(-2), lit(3)}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lits[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if a.next(c1) != c2 {
+		t.Fatalf("next(c1) = %d, want %d", a.next(c1), c2)
+	}
+	a.delete(c1)
+	if !a.deleted(c1) || a.deleted(c2) {
+		t.Fatal("deleted flags wrong")
+	}
+	if a.wasted != hdrWords+3 {
+		t.Fatalf("wasted = %d, want %d", a.wasted, hdrWords+3)
+	}
+	// Relocate c2 into a fresh arena twice: the second call must reuse the
+	// forwarding address.
+	var to arena
+	r1, r2 := c2, c2
+	a.reloc(&r1, &to)
+	a.reloc(&r2, &to)
+	if r1 != r2 {
+		t.Fatalf("forwarded crefs differ: %d vs %d", r1, r2)
+	}
+	if to.size(r1) != 2 || !to.learnt(r1) || to.lbd(r1) != 5 {
+		t.Fatal("relocated clause corrupted")
+	}
+}
