@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check bench bench-sat bench-sweep baseline
+.PHONY: build test race vet check serve-smoke bench bench-sat bench-sweep baseline
 
 build:
 	$(GO) build ./...
@@ -11,16 +11,22 @@ test:
 vet:
 	$(GO) vet ./...
 
-# Race-check the packages with concurrent code paths (the parallel SAT sweep
-# and the SAT substrate it drives).
+# Race-check the packages with concurrent code paths (the parallel SAT
+# sweep, the SAT substrate it drives, the job scheduler/portfolio, and the
+# daemon's HTTP handlers).
 race:
-	$(GO) test -race ./internal/sat ./internal/aig
+	$(GO) test -race ./internal/sat ./internal/aig ./internal/service ./cmd/hqsd
 
 # The PR gate: vet, the full test suite, and the race pass.
 check:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/sat ./internal/aig
+	$(GO) test -race ./internal/sat ./internal/aig ./internal/service ./cmd/hqsd
+
+# End-to-end service smoke test: build hqsd, start it, solve the example
+# instance over HTTP in portfolio mode, drain gracefully via SIGTERM.
+serve-smoke:
+	$(GO) test -tags smoke -run TestServeSmoke -v ./cmd/hqsd
 
 # SAT-core microbenchmarks (propagation throughput, clause arena behavior).
 bench-sat:

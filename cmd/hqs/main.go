@@ -1,13 +1,17 @@
 // Command hqs is the HQS DQBF solver: it reads a formula in DQDIMACS (or
-// QDIMACS) format and decides it by quantifier elimination, printing SAT or
-// UNSAT and exiting with the conventional solver exit codes (10 for SAT, 20
-// for UNSAT, 1 for errors, 2 for resource-outs).
+// QDIMACS) format and decides it by quantifier elimination, printing SAT,
+// UNSAT, or UNKNOWN and exiting with the conventional solver exit codes
+// (10 for SAT, 20 for UNSAT, 1 for errors, 2 for unknown/resource-outs).
 //
 // Usage:
 //
 //	hqs [flags] [file.dqdimacs]
 //
-// With no file argument the formula is read from standard input.
+// With no file argument the formula is read from standard input. The
+// -engine flag can redirect the solve to the iDQ baseline or a portfolio
+// racing both engines; -timeout is enforced through a cancellable budget,
+// so it interrupts a running SAT oracle rather than waiting for the next
+// loop iteration.
 package main
 
 import (
@@ -17,13 +21,16 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/dqbf"
+	"repro/internal/service"
 )
 
 func main() {
 	var (
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit (0 = none)")
+		engine     = flag.String("engine", "hqs", "solver engine: hqs | idq | portfolio")
 		nodeLimit  = flag.Int("node-limit", 0, "AIG node limit (0 = none)")
 		strategy   = flag.String("strategy", "maxsat", "universal elimination set: maxsat | greedy | all")
 		noPre      = flag.Bool("no-preprocess", false, "disable CNF preprocessing")
@@ -55,8 +62,19 @@ func main() {
 		os.Exit(1)
 	}
 
+	bud := budget.New(budget.Limits{Timeout: *timeout, Nodes: *nodeLimit})
+
+	if *engine != "hqs" {
+		eng, err := service.ParseEngine(*engine)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hqs:", err)
+			os.Exit(1)
+		}
+		runService(formula, eng, bud, *stats)
+	}
+
 	opt := core.DefaultOptions()
-	opt.Timeout = *timeout
+	opt.Budget = bud
 	opt.NodeLimit = *nodeLimit
 	opt.Preprocess = !*noPre
 	opt.DetectGates = !*noGates && !*noPre
@@ -114,6 +132,34 @@ func main() {
 		fmt.Println("TIMEOUT")
 	case core.Memout:
 		fmt.Println("MEMOUT")
+	default:
+		fmt.Println("UNKNOWN")
 	}
 	os.Exit(2)
+}
+
+// runService decides the formula through internal/service (engines other
+// than the native hqs core) and exits with the solver exit codes.
+func runService(f *dqbf.Formula, eng service.Engine, bud *budget.Budget, stats bool) {
+	start := time.Now()
+	out, err := service.Run(f, eng, bud)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hqs:", err)
+		os.Exit(1)
+	}
+	if stats {
+		fmt.Fprintf(os.Stderr, "c time      %v\n", time.Since(start))
+		fmt.Fprintf(os.Stderr, "c engine    %s\n", out.Engine)
+		fmt.Fprintf(os.Stderr, "c reason    %s\n", out.Reason)
+		fmt.Fprintf(os.Stderr, "c conflicts %d, decisions %d\n", out.Conflicts, out.Decisions)
+	}
+	fmt.Println(out.Verdict)
+	switch out.Verdict {
+	case service.VerdictSat:
+		os.Exit(10)
+	case service.VerdictUnsat:
+		os.Exit(20)
+	default:
+		os.Exit(2)
+	}
 }

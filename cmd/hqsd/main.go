@@ -1,0 +1,89 @@
+// Command hqsd serves the DQBF solvers over HTTP: clients POST DQDIMACS
+// instances, the daemon schedules them on a bounded worker pool (engine hqs,
+// idq, or a portfolio racing both), and results are polled or awaited as
+// JSON. SIGTERM/SIGINT triggers a graceful drain: the health check flips to
+// 503, queued and running jobs finish (up to -drain-timeout, after which
+// they are cancelled), then the listener shuts down.
+//
+// API:
+//
+//	POST   /jobs?engine=portfolio&timeout=30s   body: DQDIMACS  -> 202 job snapshot
+//	GET    /jobs/{id}                                           -> job snapshot
+//	DELETE /jobs/{id}                                           -> cancel job
+//	POST   /solve?engine=hqs&timeout=10s        body: DQDIMACS  -> 200 finished job
+//	GET    /healthz                                             -> 200 ok | 503 draining
+//	GET    /stats                                               -> scheduler counters
+//
+// Limit query parameters: timeout (Go duration), conflicts, decisions
+// (CDCL caps), nodes (AIG node cap).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address")
+		workers      = flag.Int("workers", 2, "concurrent solver workers")
+		queueCap     = flag.Int("queue", 64, "job queue capacity")
+		cacheSize    = flag.Int("cache-size", 256, "LRU result cache entries (negative = disable)")
+		engine       = flag.String("engine", "portfolio", "default engine: hqs | idq | portfolio")
+		defTimeout   = flag.Duration("default-timeout", 0, "per-job timeout when the client sets none (0 = none)")
+		maxTimeout   = flag.Duration("max-timeout", 0, "clamp on per-job timeouts (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+	)
+	flag.Parse()
+
+	eng, err := service.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hqsd:", err)
+		os.Exit(1)
+	}
+	sched := service.NewScheduler(service.Config{
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		CacheSize:      *cacheSize,
+		DefaultEngine:  eng,
+		DefaultTimeout: *defTimeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	srv := newServer(sched)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		sig := <-stop
+		log.Printf("hqsd: %v received, draining (grace %v)", sig, *drainTimeout)
+		srv.healthy.Store(false)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := sched.Drain(ctx); err != nil {
+			log.Printf("hqsd: drain cut short: %v", err)
+		}
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			log.Printf("hqsd: shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("hqsd: listening on %s (workers %d, queue %d, engine %s)", *addr, *workers, *queueCap, eng)
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("hqsd: %v", err)
+	}
+	<-done
+	log.Print("hqsd: drained, bye")
+}

@@ -1,0 +1,176 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dqbf"
+	"repro/internal/service"
+)
+
+// server routes HTTP requests onto a service.Scheduler.
+type server struct {
+	sched *service.Scheduler
+	// healthy flips to false when shutdown begins so load balancers stop
+	// routing to a draining instance before the listener closes.
+	healthy atomic.Bool
+	// maxBody bounds request bodies (DQDIMACS text) in bytes.
+	maxBody int64
+}
+
+func newServer(sched *service.Scheduler) *server {
+	s := &server{sched: sched, maxBody: 64 << 20}
+	s.healthy.Store(true)
+	return s
+}
+
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /jobs", s.handleSubmit)
+	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// parseJobRequest reads a DQDIMACS body and the engine/limit query
+// parameters shared by /jobs and /solve.
+func (s *server) parseJobRequest(w http.ResponseWriter, r *http.Request) (*dqbf.Formula, service.Engine, service.Limits, bool) {
+	q := r.URL.Query()
+	eng, err := service.ParseEngine(q.Get("engine"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, "", service.Limits{}, false
+	}
+	var lim service.Limits
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout: %w", err))
+			return nil, "", service.Limits{}, false
+		}
+		lim.Timeout = d
+	}
+	intParam := func(name string) (int64, error) {
+		v := q.Get(name)
+		if v == "" {
+			return 0, nil
+		}
+		return strconv.ParseInt(v, 10, 64)
+	}
+	if lim.Conflicts, err = intParam("conflicts"); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad conflicts: %w", err))
+		return nil, "", service.Limits{}, false
+	}
+	if lim.Decisions, err = intParam("decisions"); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad decisions: %w", err))
+		return nil, "", service.Limits{}, false
+	}
+	nodes, err := intParam("nodes")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad nodes: %w", err))
+		return nil, "", service.Limits{}, false
+	}
+	lim.Nodes = int(nodes)
+
+	f, err := dqbf.ParseDQDIMACS(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, "", service.Limits{}, false
+	}
+	return f, eng, lim, true
+}
+
+func (s *server) submit(w http.ResponseWriter, r *http.Request) (*service.Job, bool) {
+	f, eng, lim, ok := s.parseJobRequest(w, r)
+	if !ok {
+		return nil, false
+	}
+	job, err := s.sched.Submit(f, eng, lim)
+	switch {
+	case errors.Is(err, service.ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return nil, false
+	case errors.Is(err, service.ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+		return nil, false
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	return job, true
+}
+
+// handleSubmit enqueues a job and returns its snapshot without waiting.
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.submit(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Info())
+}
+
+// handleSolve submits and blocks until the job finishes (or the client goes
+// away, in which case the job is cancelled).
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.submit(w, r)
+	if !ok {
+		return
+	}
+	select {
+	case <-job.Done():
+		writeJSON(w, http.StatusOK, job.Info())
+	case <-r.Context().Done():
+		s.sched.Cancel(job.ID())
+		<-job.Done()
+	}
+}
+
+func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, service.ErrNoSuchJob)
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Info())
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.sched.Cancel(id); err != nil {
+		writeError(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "cancelling"})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if !s.healthy.Load() || s.sched.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Stats())
+}

@@ -1,0 +1,97 @@
+//go:build smoke
+
+package main
+
+// The smoke test drives the real hqsd binary end to end: build, start,
+// health-check, solve the repository's example instance over HTTP in
+// portfolio mode, then shut down gracefully with SIGTERM. Run it via
+// `make serve-smoke` (it is tag-gated so ordinary `go test ./...` stays
+// hermetic and fast).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+func TestServeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "hqsd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserve port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	cmd := exec.Command(bin, "-addr", addr, "-workers", "2", "-drain-timeout", "10s")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start hqsd: %v", err)
+	}
+	defer cmd.Process.Kill()
+
+	base := "http://" + addr
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("hqsd never became healthy: %v", err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	instance, err := os.ReadFile("../../examples/example1.dqdimacs")
+	if err != nil {
+		t.Fatalf("read example: %v", err)
+	}
+	resp, err := http.Post(base+"/solve?engine=portfolio&timeout=30s", "text/plain", strings.NewReader(string(instance)))
+	if err != nil {
+		t.Fatalf("POST /solve: %v", err)
+	}
+	var info service.JobInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || info.Outcome == nil || info.Outcome.Verdict != service.VerdictSat {
+		t.Fatalf("solve over HTTP: status %d, info %+v", resp.StatusCode, info)
+	}
+	fmt.Printf("smoke: %s solved example1 -> %v (engine %s) in %dms\n",
+		addr, info.Outcome.Verdict, info.Outcome.Engine, info.SolveTimeMS)
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("hqsd exited with %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("hqsd did not drain after SIGTERM")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/cnf"
 	"repro/internal/sat"
 )
@@ -90,6 +91,11 @@ type SweepOptions struct {
 	// Deadline, when nonzero, aborts the candidate loop once passed; merges
 	// proven so far are still applied (the result stays equivalent).
 	Deadline time.Time
+	// Budget, when non-nil, likewise aborts the candidate loop when stopped
+	// (cancellation, deadline, caps) and is polled inside each worker's SAT
+	// queries for prompt cancellation mid-query. As with Deadline, merges
+	// proven before the stop are still applied.
+	Budget *budget.Budget
 	// Workers is the size of the SAT worker pool checking candidate pairs.
 	// 0 or 1 runs serially; negative values use runtime.GOMAXPROCS(0). Every
 	// worker owns a private solver loaded from one shared immutable Tseitin
@@ -246,13 +252,13 @@ func (g *Graph) Sweep(r Ref, opt SweepOptions) (Ref, SweepStats) {
 	proven := make([]bool, len(cands))
 	var stop atomic.Bool
 	expired := func() bool {
-		if opt.Deadline.IsZero() {
+		if opt.Deadline.IsZero() && opt.Budget == nil {
 			return false
 		}
 		if stop.Load() {
 			return true
 		}
-		if time.Now().After(opt.Deadline) {
+		if (!opt.Deadline.IsZero() && time.Now().After(opt.Deadline)) || opt.Budget.Stopped() {
 			stop.Store(true)
 			return true
 		}
@@ -267,6 +273,7 @@ func (g *Graph) Sweep(r Ref, opt SweepOptions) (Ref, SweepStats) {
 		solver := sat.New()
 		solver.AddFormula(formula)
 		solver.ConflictBudget = opt.ConflictBudget
+		solver.Budget = opt.Budget
 		for i := w; i < len(cands); i += workers {
 			if st.Candidates%8 == 0 && expired() {
 				break

@@ -1,6 +1,7 @@
 package aig
 
 import (
+	"repro/internal/budget"
 	"repro/internal/cnf"
 	"repro/internal/sat"
 )
@@ -125,18 +126,34 @@ func (g *Graph) coneCNF(r Ref, maxInputVar cnf.Var) (*cnf.Formula, map[int32]cnf
 // IsSatisfiable checks satisfiability of the function rooted at r with the
 // CDCL solver. If sat, it also returns a satisfying input assignment.
 func (g *Graph) IsSatisfiable(r Ref) (bool, map[cnf.Var]bool) {
+	sat, model, _ := g.IsSatisfiableBudget(r, nil)
+	return sat, model
+}
+
+// IsSatisfiableBudget is IsSatisfiable under a cancellable budget: the CDCL
+// search polls bud and, when stopped, the call returns a non-nil error (the
+// budget's reason) with an indeterminate first result.
+func (g *Graph) IsSatisfiableBudget(r Ref, bud *budget.Budget) (bool, map[cnf.Var]bool, error) {
 	if r == True {
-		return true, map[cnf.Var]bool{}
+		return true, map[cnf.Var]bool{}, nil
 	}
 	if r == False {
-		return false, nil
+		return false, nil, nil
 	}
 	s := sat.New()
+	s.Budget = bud
 	b := NewCNFBuilder(g, s)
 	l := b.Lit(r)
 	s.AddClause(l)
-	if s.Solve() != sat.Sat {
-		return false, nil
+	st, err := s.SolveErr(nil)
+	if st == sat.Unknown {
+		if err == nil {
+			err = sat.ErrBudget
+		}
+		return false, nil, err
+	}
+	if st != sat.Sat {
+		return false, nil, nil
 	}
 	m := s.Model()
 	out := make(map[cnf.Var]bool)
@@ -144,7 +161,7 @@ func (g *Graph) IsSatisfiable(r Ref) (bool, map[cnf.Var]bool) {
 		sv := b.nodeVar[g.Input(v).node()]
 		out[v] = m.Get(sv)
 	}
-	return true, out
+	return true, out, nil
 }
 
 // Equivalent checks whether the functions rooted at a and b are equivalent,

@@ -27,8 +27,10 @@ import (
 	"time"
 
 	"repro/internal/aig"
+	"repro/internal/budget"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
+	"repro/internal/maxsat"
 	"repro/internal/qbf"
 )
 
@@ -42,6 +44,9 @@ const (
 	Timeout
 	// Memout means the AIG node budget was exhausted.
 	Memout
+	// Cancelled means the budget was cancelled (or a conflict/decision cap
+	// was exhausted) before a verdict.
+	Cancelled
 )
 
 func (s Status) String() string {
@@ -52,6 +57,8 @@ func (s Status) String() string {
 		return "timeout"
 	case Memout:
 		return "memout"
+	case Cancelled:
+		return "cancelled"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -87,6 +94,12 @@ type Options struct {
 	NodeLimit int
 	// Timeout bounds wall-clock solving time; 0 means unlimited.
 	Timeout time.Duration
+	// Budget, when non-nil, makes the solve cancellable and budgeted: the
+	// main loop, the MaxSAT elimination-set selection, SAT sweeps, and the
+	// QBF back end (including its final SAT call) poll it and unwind with
+	// status Timeout (deadline) or Cancelled (cancel, conflict/decision
+	// caps); its node cap tightens NodeLimit (status Memout).
+	Budget *budget.Budget
 }
 
 // DefaultOptions mirror the configuration evaluated in the paper.
@@ -144,21 +157,50 @@ func New(opt Options) *Solver { return &Solver{Opt: opt} }
 // errTimeout is used internally to unwind on deadline.
 var errTimeout = errors.New("core: timeout")
 
+// budgetStop unwinds the solve when the shared budget is exhausted; err is
+// the budget's reason.
+type budgetStop struct{ err error }
+
 // Solve decides the DQBF. The input formula is not modified.
 func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 	start := time.Now()
 	defer func() { res.Stats.TotalTime = time.Since(start) }()
 
-	var deadline time.Time
+	deadline := s.Opt.Budget.Deadline()
 	if s.Opt.Timeout > 0 {
-		deadline = start.Add(s.Opt.Timeout)
+		if d := start.Add(s.Opt.Timeout); deadline.IsZero() || d.Before(deadline) {
+			deadline = d
+		}
+	}
+	// checkStop unwinds via panic once the budget or deadline is exhausted;
+	// the recover below converts the sentinel into a Timeout/Cancelled/Memout
+	// status. Panicking keeps the elimination loop free of error plumbing.
+	checkStop := func() {
+		if err := s.Opt.Budget.Err(); err != nil {
+			panic(budgetStop{err})
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			panic(errTimeout)
+		}
 	}
 	defer func() {
-		if r := recover(); r != nil {
-			if _, ok := r.(aig.ErrNodeLimit); ok {
-				res.Status = Memout
+		switch r := recover().(type) {
+		case nil:
+		case aig.ErrNodeLimit:
+			res.Status = Memout
+		case budgetStop:
+			if errors.Is(r.err, budget.ErrDeadline) {
+				res.Status = Timeout
+			} else {
+				res.Status = Cancelled
+			}
+		case error:
+			if r == errTimeout {
+				res.Status = Timeout
 				return
 			}
+			panic(r)
+		default:
 			panic(r)
 		}
 	}()
@@ -183,6 +225,9 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 	// Step 2: AIG construction.
 	g := aig.New()
 	g.NodeLimit = s.Opt.NodeLimit
+	if nc := s.Opt.Budget.NodeCap(); nc > 0 && (g.NodeLimit == 0 || nc < g.NodeLimit) {
+		g.NodeLimit = nc
+	}
 	m := BuildMatrix(g, work.Matrix, res.Stats.Preprocess.Gates)
 	track := func() {
 		if n := g.NumNodes(); n > res.Stats.PeakAIGNodes {
@@ -193,8 +238,11 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 
 	// Step 3: elimination-set selection.
 	selStart := time.Now()
-	elim, err := SelectEliminationSet(work, s.Opt.Strategy)
+	elim, err := SelectEliminationSetBudget(work, s.Opt.Strategy, s.Opt.Budget)
 	if err != nil {
+		if errors.Is(err, maxsat.ErrBudget) {
+			panic(budgetStop{err})
+		}
 		panic(fmt.Sprintf("core: %v", err))
 	}
 	elim = OrderByCopyCost(work, elim)
@@ -209,28 +257,9 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 	nextVar := cnf.Var(work.Matrix.NumVars + 1)
 	lastSweepSize := g.ConeSize(m)
 
-	checkDeadline := func() {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			panic(errTimeout)
-		}
-	}
-	defer func() {
-		if r := recover(); r != nil {
-			if r == errTimeout {
-				res.Status = Timeout
-				return
-			}
-			if _, ok := r.(aig.ErrNodeLimit); ok {
-				res.Status = Memout
-				return
-			}
-			panic(r)
-		}
-	}()
-
 	// Step 4: main loop.
 	for {
-		checkDeadline()
+		checkStop()
 		if m.IsConst() {
 			res.Status = Solved
 			res.Sat = m == aig.True
@@ -239,7 +268,7 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 		}
 		if s.Opt.UnitPure {
 			var done bool
-			m, done = s.applyUnitPure(g, work, m, &res.Stats)
+			m, done = s.applyUnitPure(g, work, m, &res.Stats, checkStop)
 			if done {
 				res.Status = Solved
 				res.Sat = m == aig.True
@@ -255,7 +284,7 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 			if !work.Deps[y].Equal(univSet) {
 				continue
 			}
-			checkDeadline()
+			checkStop()
 			m = g.Exists(m, y)
 			removeVarFromPrefix(work, y)
 			res.Stats.ExistElims++
@@ -286,8 +315,11 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 			// The precomputed set is exhausted but cycles remain (possible
 			// only if unit/pure removed selected variables in a way that
 			// left other cycles): recompute.
-			more, err := SelectEliminationSet(work, s.Opt.Strategy)
+			more, err := SelectEliminationSetBudget(work, s.Opt.Strategy, s.Opt.Budget)
 			if err != nil {
+				if errors.Is(err, maxsat.ErrBudget) {
+					panic(budgetStop{err})
+				}
 				panic(fmt.Sprintf("core: %v", err))
 			}
 			elim = OrderByCopyCost(work, more)
@@ -303,6 +335,7 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 			if size := g.ConeSize(m); size > lastSweepSize+s.Opt.SweepThreshold {
 				so := s.Opt.SweepOptions
 				so.Deadline = deadline
+				so.Budget = s.Opt.Budget
 				if s.Opt.Workers != 0 {
 					so.Workers = s.Opt.Workers
 				}
@@ -326,6 +359,7 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 	blocks := dqbf.Linearize(work)
 	qopt := s.Opt.QBF
 	qopt.Deadline = deadline
+	qopt.Budget = s.Opt.Budget
 	if s.Opt.Workers != 0 {
 		qopt.SweepOptions.Workers = s.Opt.Workers
 	}
@@ -340,6 +374,10 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 		}
 		if errors.Is(err, qbf.ErrTimeout) {
 			res.Status = Timeout
+			return res
+		}
+		if errors.Is(err, qbf.ErrCancelled) {
+			res.Status = Cancelled
 			return res
 		}
 		panic(fmt.Sprintf("core: qbf back end: %v", err))
@@ -383,8 +421,10 @@ func (s *Solver) eliminateUniversal(g *aig.Graph, work *dqbf.Formula, m aig.Ref,
 
 // applyUnitPure eliminates unit and pure variables (Theorems 5/6) until a
 // fixpoint. The second return value is true when the matrix became constant.
-func (s *Solver) applyUnitPure(g *aig.Graph, work *dqbf.Formula, m aig.Ref, st *Stats) (aig.Ref, bool) {
+// checkStop is polled between fixpoint rounds and unwinds on budget stop.
+func (s *Solver) applyUnitPure(g *aig.Graph, work *dqbf.Formula, m aig.Ref, st *Stats, checkStop func()) (aig.Ref, bool) {
 	for {
+		checkStop()
 		changed := false
 		upStart := time.Now()
 		up := g.UnitPure(m)

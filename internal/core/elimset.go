@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/budget"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 	"repro/internal/maxsat"
@@ -41,13 +42,20 @@ func (s ElimStrategy) String() string {
 // SelectEliminationSet returns the universal variables to eliminate so that
 // the dependency graph becomes acyclic, according to the strategy.
 func SelectEliminationSet(f *dqbf.Formula, strategy ElimStrategy) ([]cnf.Var, error) {
+	return SelectEliminationSetBudget(f, strategy, nil)
+}
+
+// SelectEliminationSetBudget is SelectEliminationSet under a cancellable
+// budget: the MaxSAT strategy's oracle polls b and the call fails with an
+// error wrapping maxsat.ErrBudget when stopped.
+func SelectEliminationSetBudget(f *dqbf.Formula, strategy ElimStrategy, b *budget.Budget) ([]cnf.Var, error) {
 	cycles := dqbf.BinaryCycles(f)
 	if len(cycles) == 0 {
 		return nil, nil
 	}
 	switch strategy {
 	case ElimMaxSAT:
-		return selectMaxSAT(f, cycles)
+		return selectMaxSAT(f, cycles, b)
 	case ElimGreedy:
 		return selectGreedy(f, cycles)
 	case ElimAll:
@@ -61,8 +69,9 @@ func SelectEliminationSet(f *dqbf.Formula, strategy ElimStrategy) ([]cnf.Var, er
 // a selector variable x̂ per universal x (soft clause ¬x̂); for each binary
 // cycle {y,y'} the hard constraint (⋀_{x∈D_y∖D_y'} x̂) ∨ (⋀_{x∈D_y'∖D_y} x̂),
 // Tseitin-encoded with one auxiliary variable per conjunction.
-func selectMaxSAT(f *dqbf.Formula, cycles [][2]cnf.Var) ([]cnf.Var, error) {
+func selectMaxSAT(f *dqbf.Formula, cycles [][2]cnf.Var, b *budget.Budget) ([]cnf.Var, error) {
 	m := maxsat.New(0)
+	m.Budget = b
 	sel := make(map[cnf.Var]cnf.Var) // universal -> selector
 	selOf := func(x cnf.Var) cnf.Lit {
 		v, ok := sel[x]

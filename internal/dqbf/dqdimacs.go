@@ -24,6 +24,11 @@ import (
 // equivalent DQBF. Variables not mentioned in the prefix but used in the
 // matrix are treated as outermost existentials (empty dependency set), the
 // QDIMACS convention for free variables.
+//
+// The reader is strict: the problem line must precede the prefix and matrix
+// and occur exactly once, quantifier lines must be 0-terminated with nothing
+// after the terminator, and every variable and literal must lie within the
+// declared variable range. Violations are reported with their line number.
 func ParseDQDIMACS(r io.Reader) (*Formula, error) {
 	f := New()
 	sc := bufio.NewScanner(r)
@@ -32,6 +37,7 @@ func ParseDQDIMACS(r io.Reader) (*Formula, error) {
 	var universalsSoFar []cnf.Var
 	lineNo := 0
 	prefixDone := false
+	sawProblem := false
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -39,23 +45,31 @@ func ParseDQDIMACS(r io.Reader) (*Formula, error) {
 			continue
 		}
 		fields := strings.Fields(line)
+		if !sawProblem && fields[0] != "p" {
+			return nil, fmt.Errorf("dqdimacs line %d: %q before problem line", lineNo, fields[0])
+		}
 		switch fields[0] {
 		case "p":
-			if len(fields) < 4 || fields[1] != "cnf" {
-				return nil, fmt.Errorf("dqdimacs line %d: malformed problem line", lineNo)
+			if sawProblem {
+				return nil, fmt.Errorf("dqdimacs line %d: duplicate problem line", lineNo)
+			}
+			if len(fields) != 4 || fields[1] != "cnf" {
+				return nil, fmt.Errorf("dqdimacs line %d: malformed problem line (want \"p cnf <vars> <clauses>\")", lineNo)
 			}
 			n, err := strconv.Atoi(fields[2])
-			if err != nil {
-				return nil, fmt.Errorf("dqdimacs line %d: %v", lineNo, err)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("dqdimacs line %d: bad variable count %q", lineNo, fields[2])
 			}
-			if n > f.Matrix.NumVars {
-				f.Matrix.NumVars = n
+			if k, err := strconv.Atoi(fields[3]); err != nil || k < 0 {
+				return nil, fmt.Errorf("dqdimacs line %d: bad clause count %q", lineNo, fields[3])
 			}
+			f.Matrix.NumVars = n
+			sawProblem = true
 		case "a", "e", "d":
 			if prefixDone {
 				return nil, fmt.Errorf("dqdimacs line %d: quantifier line after clauses", lineNo)
 			}
-			vars, err := parseVarLine(fields[1:], lineNo)
+			vars, err := parseVarLine(fields[1:], lineNo, f.Matrix.NumVars)
 			if err != nil {
 				return nil, err
 			}
@@ -89,7 +103,8 @@ func ParseDQDIMACS(r io.Reader) (*Formula, error) {
 				}
 				l := cnf.LitFromDimacs(d)
 				if int(l.Var()) > f.Matrix.NumVars {
-					f.Matrix.NumVars = int(l.Var())
+					return nil, fmt.Errorf("dqdimacs line %d: literal %d out of range (declared %d variables)",
+						lineNo, d, f.Matrix.NumVars)
 				}
 				cur = append(cur, l)
 			}
@@ -121,22 +136,29 @@ func ParseDQDIMACS(r io.Reader) (*Formula, error) {
 	return f, nil
 }
 
-func parseVarLine(toks []string, lineNo int) ([]cnf.Var, error) {
+func parseVarLine(toks []string, lineNo, numVars int) ([]cnf.Var, error) {
 	var out []cnf.Var
-	for _, tok := range toks {
+	for i, tok := range toks {
 		d, err := strconv.Atoi(tok)
 		if err != nil {
 			return nil, fmt.Errorf("dqdimacs line %d: bad variable %q", lineNo, tok)
 		}
 		if d == 0 {
-			break
+			if i != len(toks)-1 {
+				return nil, fmt.Errorf("dqdimacs line %d: trailing tokens after terminating 0", lineNo)
+			}
+			return out, nil
 		}
 		if d < 0 {
 			return nil, fmt.Errorf("dqdimacs line %d: negative variable %d in prefix", lineNo, d)
 		}
+		if d > numVars {
+			return nil, fmt.Errorf("dqdimacs line %d: variable %d out of range (declared %d variables)",
+				lineNo, d, numVars)
+		}
 		out = append(out, cnf.Var(d))
 	}
-	return out, nil
+	return nil, fmt.Errorf("dqdimacs line %d: quantifier line not terminated by 0", lineNo)
 }
 
 // ParseDQDIMACSString parses a DQDIMACS formula from a string.

@@ -26,11 +26,13 @@
 package idq
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 	"repro/internal/sat"
@@ -46,6 +48,9 @@ const (
 	Timeout
 	// Memout means the instantiation budget was exhausted.
 	Memout
+	// Cancelled means the budget was cancelled (or a conflict/decision cap
+	// was exhausted) before a verdict.
+	Cancelled
 )
 
 func (s Status) String() string {
@@ -56,6 +61,8 @@ func (s Status) String() string {
 		return "timeout"
 	case Memout:
 		return "memout"
+	case Cancelled:
+		return "cancelled"
 	default:
 		return fmt.Sprintf("Status(%d)", int(s))
 	}
@@ -68,6 +75,11 @@ type Options struct {
 	// MaxInstantiations bounds the number of instantiated clauses in the
 	// abstraction (the analogue of iDQ's memory-outs); 0 means unlimited.
 	MaxInstantiations int
+	// Budget, when non-nil, makes the solve cancellable: the instantiation
+	// loop and both SAT oracles (abstraction and verification) poll it, so a
+	// cancellation interrupts a running CDCL search, not just the next
+	// refinement. Status is Timeout on its deadline, Cancelled otherwise.
+	Budget *budget.Budget
 }
 
 // Stats collects counters.
@@ -113,16 +125,30 @@ func (s *Solver) Solve(f *dqbf.Formula) Result {
 	res := Result{}
 	defer func() { res.Stats.TotalTime = time.Since(start) }()
 
-	var deadline time.Time
+	deadline := s.Opt.Budget.Deadline()
 	if s.Opt.Timeout > 0 {
-		deadline = start.Add(s.Opt.Timeout)
+		if d := start.Add(s.Opt.Timeout); deadline.IsZero() || d.Before(deadline) {
+			deadline = d
+		}
 	}
-	expired := func() bool {
-		return !deadline.IsZero() && time.Now().After(deadline)
+	// stopStatus returns the status to report when a loop or oracle must
+	// stop, and false when there is no stop condition.
+	stopStatus := func() (Status, bool) {
+		if err := s.Opt.Budget.Err(); err != nil {
+			if errors.Is(err, budget.ErrDeadline) {
+				return Timeout, true
+			}
+			return Cancelled, true
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return Timeout, true
+		}
+		return 0, false
 	}
 
 	univ := f.Univ
 	abs := sat.New()
+	abs.Budget = s.Opt.Budget
 	instVar := make(map[projKey]cnf.Var)
 
 	instOf := func(y cnf.Var, a map[cnf.Var]bool) cnf.Var {
@@ -193,8 +219,8 @@ func (s *Solver) Solve(f *dqbf.Formula) Result {
 
 	for {
 		res.Stats.Iterations++
-		if expired() {
-			res.Status = Timeout
+		if st, stop := stopStatus(); stop {
+			res.Status = st
 			return res
 		}
 		if s.Opt.MaxInstantiations > 0 && res.Stats.Instantiations > s.Opt.MaxInstantiations {
@@ -205,6 +231,15 @@ func (s *Solver) Solve(f *dqbf.Formula) Result {
 		// Step 1: abstraction.
 		res.Stats.AbstractionSAT++
 		st := abs.Solve()
+		if st == sat.Unknown {
+			// The oracle only stops on the shared budget; report why.
+			if st, stop := stopStatus(); stop {
+				res.Status = st
+			} else {
+				res.Status = Cancelled
+			}
+			return res
+		}
 		if st == sat.Unsat {
 			res.Status = Solved
 			res.Sat = false
@@ -230,8 +265,16 @@ func (s *Solver) Solve(f *dqbf.Formula) Result {
 
 		// Step 3: verification — search a universal assignment falsifying
 		// the matrix under the tables.
-		cex, found := s.verify(f, tables)
+		cex, found, stopped := s.verify(f, tables)
 		res.Stats.VerifySAT++
+		if stopped {
+			if st, stop := stopStatus(); stop {
+				res.Status = st
+			} else {
+				res.Status = Cancelled
+			}
+			return res
+		}
 		if !found {
 			res.Status = Solved
 			res.Sat = true
@@ -258,9 +301,12 @@ func (s *Solver) Solve(f *dqbf.Formula) Result {
 // (match_p → y = v); projections outside the table are unconstrained — any
 // per-projection completion is a legal Skolem function, so a verification
 // failure on a free entry is a genuine refinement direction, and an
-// unsatisfiable query proves every completion of the tables correct.
-func (s *Solver) verify(f *dqbf.Formula, tables map[cnf.Var]map[string]bool) (map[cnf.Var]bool, bool) {
+// unsatisfiable query proves every completion of the tables correct. The
+// third return value is true when the budget stopped the query before a
+// verdict (the first two are then meaningless).
+func (s *Solver) verify(f *dqbf.Formula, tables map[cnf.Var]map[string]bool) (map[cnf.Var]bool, bool, bool) {
 	vs := sat.New()
+	vs.Budget = s.Opt.Budget
 	vmap := make(map[cnf.Var]cnf.Var) // original var -> verification SAT var
 	varOf := func(v cnf.Var) cnf.Var {
 		w, ok := vmap[v]
@@ -310,17 +356,21 @@ func (s *Solver) verify(f *dqbf.Formula, tables map[cnf.Var]map[string]bool) (ma
 		sel = append(sel, sl)
 	}
 	if len(sel) == 0 {
-		return nil, false // empty matrix is a tautology
+		return nil, false, false // empty matrix is a tautology
 	}
 	vs.AddClause(sel...)
 
-	if vs.Solve() != sat.Sat {
-		return nil, false
+	switch vs.Solve() {
+	case sat.Unknown:
+		return nil, false, true
+	case sat.Sat:
+	default:
+		return nil, false, false
 	}
 	model := vs.Model()
 	a := make(map[cnf.Var]bool, len(f.Univ))
 	for _, x := range f.Univ {
 		a[x] = model.Get(varOf(x))
 	}
-	return a, true
+	return a, true, false
 }

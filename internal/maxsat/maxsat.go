@@ -20,6 +20,7 @@ package maxsat
 import (
 	"errors"
 
+	"repro/internal/budget"
 	"repro/internal/cnf"
 	"repro/internal/sat"
 )
@@ -27,11 +28,20 @@ import (
 // ErrUnsat is returned when the hard clauses alone are unsatisfiable.
 var ErrUnsat = errors.New("maxsat: hard clauses unsatisfiable")
 
+// ErrBudget is returned when the budget stops the linear search (or an
+// oracle call inside it) before the optimum is reached. The budget's own
+// error (budget.ErrCancelled, budget.ErrDeadline, ...) is wrapped.
+var ErrBudget = errors.New("maxsat: budget exhausted")
+
 // Solver accumulates hard and soft clauses.
 type Solver struct {
 	numVars int
 	hard    []cnf.Clause
 	soft    []cnf.Clause
+
+	// Budget, when non-nil, bounds and cancels the UNSAT→SAT linear search:
+	// it is checked between oracle calls and inside each CDCL search.
+	Budget *budget.Budget
 }
 
 // New returns an empty instance over n variables.
@@ -79,6 +89,7 @@ type Result struct {
 // number of soft clauses.
 func (m *Solver) Solve() (Result, error) {
 	s := sat.New()
+	s.Budget = m.Budget
 	s.EnsureVars(m.numVars)
 	for _, c := range m.hard {
 		if !s.AddClause(c...) {
@@ -97,7 +108,10 @@ func (m *Solver) Solve() (Result, error) {
 		}
 	}
 	if len(m.soft) == 0 {
-		if s.Solve() != sat.Sat {
+		switch st := s.Solve(); {
+		case st == sat.Unknown:
+			return Result{}, m.budgetErr()
+		case st != sat.Sat:
 			return Result{}, ErrUnsat
 		}
 		return Result{Cost: 0, Model: m.truncateModel(s.Model())}, nil
@@ -112,10 +126,13 @@ func (m *Solver) Solve() (Result, error) {
 	case sat.Sat:
 		return Result{Cost: 0, Model: m.truncateModel(s.Model())}, nil
 	case sat.Unknown:
-		return Result{}, errors.New("maxsat: oracle returned unknown")
+		return Result{}, m.budgetErr()
 	}
 	// Hard clauses alone satisfiable?
-	if s.Solve() != sat.Sat {
+	switch st := s.Solve(); {
+	case st == sat.Unknown:
+		return Result{}, m.budgetErr()
+	case st != sat.Sat:
 		return Result{}, ErrUnsat
 	}
 	best := m.countViolated(s.Model())
@@ -124,17 +141,36 @@ func (m *Solver) Solve() (Result, error) {
 	// from 1 until SAT (we know cost >= 1 here and best is an upper bound).
 	enc := newSeqCounter(s, relax)
 	for k := 1; k < best; k++ {
+		if m.Budget.Stopped() {
+			return Result{}, m.budgetErr()
+		}
 		assumps := enc.atMost(k)
-		if s.SolveAssuming(assumps) == sat.Sat {
+		switch s.SolveAssuming(assumps) {
+		case sat.Sat:
 			return Result{Cost: m.countViolated(s.Model()), Model: m.truncateModel(s.Model())}, nil
+		case sat.Unknown:
+			return Result{}, m.budgetErr()
 		}
 	}
 	// Optimum equals the upper bound.
 	assumps := enc.atMost(best)
-	if s.SolveAssuming(assumps) != sat.Sat {
+	switch s.SolveAssuming(assumps) {
+	case sat.Unknown:
+		return Result{}, m.budgetErr()
+	case sat.Sat:
+	default:
 		return Result{}, errors.New("maxsat: internal error, bound unreachable")
 	}
 	return Result{Cost: best, Model: m.truncateModel(s.Model())}, nil
+}
+
+// budgetErr wraps the budget's stop reason in ErrBudget; if the oracle
+// stopped for a reason the budget cannot explain, that is an internal error.
+func (m *Solver) budgetErr() error {
+	if err := m.Budget.Err(); err != nil {
+		return errors.Join(ErrBudget, err)
+	}
+	return errors.New("maxsat: oracle returned unknown")
 }
 
 func (m *Solver) countViolated(model cnf.Assignment) int {

@@ -18,12 +18,17 @@ import (
 	"time"
 
 	"repro/internal/aig"
+	"repro/internal/budget"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 )
 
 // ErrTimeout is returned by Solve when the deadline passes before a verdict.
 var ErrTimeout = errors.New("qbf: deadline exceeded")
+
+// ErrCancelled is returned by Solve when the budget stops the elimination
+// loop for a reason other than its deadline (cancellation or cap).
+var ErrCancelled = errors.New("qbf: cancelled")
 
 // Options configure the solver.
 type Options struct {
@@ -40,6 +45,11 @@ type Options struct {
 	FinalSAT bool
 	// Deadline, when nonzero, aborts the solve with ErrTimeout once passed.
 	Deadline time.Time
+	// Budget, when non-nil, aborts the solve when stopped: ErrTimeout on its
+	// deadline, ErrCancelled on cancellation or cap exhaustion. It is also
+	// threaded into sweeps and the final SAT call so a cancellation lands
+	// mid-oracle, not only between eliminations.
+	Budget *budget.Budget
 }
 
 // DefaultOptions mirror the configuration used in the paper's experiments.
@@ -114,13 +124,26 @@ func (s *Solver) Solve(prefix []dqbf.Block, matrix aig.Ref) (result bool, err er
 
 	m := matrix
 	lastSweepSize := s.G.ConeSize(m)
-	expired := func() bool {
-		return !s.Opt.Deadline.IsZero() && time.Now().After(s.Opt.Deadline)
+	// stopErr reports why the solve must unwind: ErrTimeout for the option
+	// deadline or the budget's deadline, ErrCancelled for an explicit cancel
+	// or cap exhaustion, nil to keep going.
+	stopErr := func() error {
+		if !s.Opt.Deadline.IsZero() && time.Now().After(s.Opt.Deadline) {
+			return ErrTimeout
+		}
+		switch err := s.Opt.Budget.Err(); err {
+		case nil:
+			return nil
+		case budget.ErrDeadline:
+			return ErrTimeout
+		default:
+			return ErrCancelled
+		}
 	}
 
 	for len(blocks) > 0 {
-		if expired() {
-			return false, ErrTimeout
+		if err := stopErr(); err != nil {
+			return false, err
 		}
 		if m.IsConst() {
 			return m == aig.True, nil
@@ -143,9 +166,16 @@ func (s *Solver) Solve(prefix []dqbf.Block, matrix aig.Ref) (result bool, err er
 			continue
 		}
 		if inner.exist && len(blocks) == 1 && s.Opt.FinalSAT {
-			// Outermost existential block: one SAT call.
+			// Outermost existential block: one SAT call, under the budget so
+			// a cancellation interrupts the CDCL search itself.
 			s.Stat.FinalSATRun = true
-			sat, _ := s.G.IsSatisfiable(m)
+			sat, _, err := s.G.IsSatisfiableBudget(m, s.Opt.Budget)
+			if err != nil {
+				if stop := stopErr(); stop != nil {
+					return false, stop
+				}
+				return false, err
+			}
 			return sat, nil
 		}
 		v := s.pickVariable(m, inner.vars)
@@ -161,6 +191,7 @@ func (s *Solver) Solve(prefix []dqbf.Block, matrix aig.Ref) (result bool, err er
 			if size := s.G.ConeSize(m); size > lastSweepSize+s.Opt.SweepThreshold {
 				so := s.Opt.SweepOptions
 				so.Deadline = s.Opt.Deadline
+				so.Budget = s.Opt.Budget
 				var sst aig.SweepStats
 				m, sst = s.G.Sweep(m, so)
 				s.Stat.Sweep.Add(sst)

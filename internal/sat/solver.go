@@ -22,6 +22,7 @@ import (
 	"errors"
 	"sort"
 
+	"repro/internal/budget"
 	"repro/internal/cnf"
 )
 
@@ -104,6 +105,15 @@ type Solver struct {
 	// Budgets; <= 0 means unlimited.
 	ConflictBudget    int64
 	PropagationBudget int64
+
+	// Budget, when non-nil, is a shared cancellable budget polled inside the
+	// search loop: the solve returns Unknown (with the budget's error from
+	// SolveErr) promptly after cancellation, deadline expiry, or cap
+	// exhaustion. Conflicts and decisions are metered into the budget. The
+	// solver stays reusable after a budgeted stop.
+	Budget *budget.Budget
+
+	budgetPoll uint32 // search-loop iterations since the last budget check
 
 	// Statistics.
 	Stats Stats
@@ -621,7 +631,10 @@ func (s *Solver) SolveAssuming(assumps []cnf.Lit) Status {
 	return st
 }
 
-// SolveErr is like SolveAssuming but reports budget exhaustion as ErrBudget.
+// SolveErr is like SolveAssuming but reports why an Unknown verdict was
+// returned: ErrBudget for the legacy conflict/propagation budgets, or the
+// shared budget's error (budget.ErrCancelled, budget.ErrDeadline, ...) when
+// the Budget field stopped the search.
 func (s *Solver) SolveErr(assumps []cnf.Lit) (Status, error) {
 	return s.solve(assumps)
 }
@@ -654,6 +667,9 @@ func (s *Solver) solve(assumps []cnf.Lit) (Status, error) {
 		if st != Unknown {
 			return st, nil
 		}
+		if err := s.Budget.Err(); err != nil {
+			return Unknown, err
+		}
 		if confBudget > 0 && s.Stats.Conflicts-startConf >= confBudget {
 			return Unknown, ErrBudget
 		}
@@ -664,6 +680,20 @@ func (s *Solver) solve(assumps []cnf.Lit) (Status, error) {
 	}
 }
 
+// stopRequested polls the shared budget every 64 search iterations (and
+// unconditionally when force is set, i.e. on every conflict). The throttle
+// keeps the deadline syscall off the propagation fast path.
+func (s *Solver) stopRequested(force bool) bool {
+	if s.Budget == nil {
+		return false
+	}
+	s.budgetPoll++
+	if !force && s.budgetPoll&63 != 0 {
+		return false
+	}
+	return s.Budget.Stopped()
+}
+
 // search runs CDCL until a verdict, a restart (conflict limit), or budget.
 func (s *Solver) search(conflictLimit int64, maxLearnts *float64) Status {
 	var conflicts int64
@@ -672,9 +702,13 @@ func (s *Solver) search(conflictLimit int64, maxLearnts *float64) Status {
 		if confl != crefUndef {
 			s.Stats.Conflicts++
 			conflicts++
+			s.Budget.AddConflicts(1)
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				return Unsat
+			}
+			if s.stopRequested(true) {
+				return Unknown
 			}
 			learnt, btLevel := s.analyze(confl)
 			s.cancelUntil(btLevel)
@@ -693,6 +727,9 @@ func (s *Solver) search(conflictLimit int64, maxLearnts *float64) Status {
 			continue
 		}
 		// No conflict.
+		if s.stopRequested(false) {
+			return Unknown
+		}
 		if conflicts >= conflictLimit {
 			s.cancelUntil(0)
 			return Unknown
@@ -715,6 +752,7 @@ func (s *Solver) search(conflictLimit int64, maxLearnts *float64) Status {
 				return Unsat
 			default:
 				s.Stats.Decisions++
+				s.Budget.AddDecisions(1)
 				s.trailLim = append(s.trailLim, len(s.trail))
 				s.uncheckedEnqueue(l, crefUndef)
 				continue
@@ -730,6 +768,7 @@ func (s *Solver) search(conflictLimit int64, maxLearnts *float64) Status {
 			return Sat
 		}
 		s.Stats.Decisions++
+		s.Budget.AddDecisions(1)
 		s.trailLim = append(s.trailLim, len(s.trail))
 		s.uncheckedEnqueue(l, crefUndef)
 	}

@@ -1,0 +1,422 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/dqbf"
+)
+
+// Errors returned by Submit and Cancel.
+var (
+	// ErrQueueFull means the bounded job queue has no free slot.
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining means the scheduler no longer accepts jobs.
+	ErrDraining = errors.New("service: scheduler draining")
+	// ErrNoSuchJob means the job ID is unknown (or already evicted).
+	ErrNoSuchJob = errors.New("service: no such job")
+)
+
+// Config sizes the scheduler.
+type Config struct {
+	// Workers is the number of concurrent solver workers (default 2).
+	Workers int
+	// QueueCap bounds the number of queued-but-not-running jobs (default 64).
+	QueueCap int
+	// CacheSize bounds the LRU result cache (default 256; 0 keeps the
+	// default, negative disables caching).
+	CacheSize int
+	// HistorySize bounds how many finished jobs stay queryable before the
+	// oldest are evicted (default 512).
+	HistorySize int
+	// DefaultEngine is used when a job names none (default portfolio).
+	DefaultEngine Engine
+	// DefaultTimeout applies when a job sets none; 0 means unlimited.
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps per-job timeouts; 0 means no clamp.
+	MaxTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.HistorySize <= 0 {
+		c.HistorySize = 512
+	}
+	if c.DefaultEngine == "" {
+		c.DefaultEngine = EnginePortfolio
+	}
+	return c
+}
+
+// Limits are the per-job resource bounds accepted by Submit.
+type Limits struct {
+	// Timeout bounds wall-clock solve time; 0 uses the scheduler default.
+	Timeout time.Duration
+	// Conflicts and Decisions cap the CDCL meters; 0 means unlimited.
+	Conflicts int64
+	Decisions int64
+	// Nodes caps the AIG size for the HQS engine; 0 keeps the engine default.
+	Nodes int
+}
+
+// JobState is the lifecycle phase of a job.
+type JobState string
+
+const (
+	// StateQueued means the job waits for a worker.
+	StateQueued JobState = "queued"
+	// StateRunning means a worker is solving the job.
+	StateRunning JobState = "running"
+	// StateDone means the job finished (its Outcome is final).
+	StateDone JobState = "done"
+)
+
+// JobInfo is a point-in-time snapshot of a job, shaped for JSON.
+type JobInfo struct {
+	ID     string   `json:"id"`
+	State  JobState `json:"state"`
+	Engine Engine   `json:"engine"`
+	// QueueWaitMS is the time between submission and a worker picking the
+	// job up (grows while queued).
+	QueueWaitMS int64 `json:"queue_wait_ms"`
+	// SolveTimeMS is the time a worker has spent on the job (grows while
+	// running).
+	SolveTimeMS int64    `json:"solve_time_ms"`
+	Outcome     *Outcome `json:"outcome,omitempty"`
+}
+
+// Job is one scheduled solve.
+type Job struct {
+	id  string
+	f   *dqbf.Formula
+	key string
+	eng Engine
+	bud *budget.Budget
+
+	mu        sync.Mutex
+	state     JobState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	outcome   Outcome
+
+	done chan struct{} // closed when the job reaches StateDone
+}
+
+// ID returns the scheduler-assigned job identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job finishes.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Outcome returns the final outcome; valid only after Done is closed.
+func (j *Job) Outcome() Outcome {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.outcome
+}
+
+// Info returns a snapshot of the job's state and timings.
+func (j *Job) Info() JobInfo {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	info := JobInfo{ID: j.id, State: j.state, Engine: j.eng}
+	switch j.state {
+	case StateQueued:
+		info.QueueWaitMS = time.Since(j.submitted).Milliseconds()
+	case StateRunning:
+		info.QueueWaitMS = j.started.Sub(j.submitted).Milliseconds()
+		info.SolveTimeMS = time.Since(j.started).Milliseconds()
+	case StateDone:
+		info.QueueWaitMS = j.started.Sub(j.submitted).Milliseconds()
+		info.SolveTimeMS = j.finished.Sub(j.started).Milliseconds()
+		out := j.outcome
+		info.Outcome = &out
+	}
+	return info
+}
+
+func (j *Job) finish(out Outcome) {
+	j.mu.Lock()
+	j.state = StateDone
+	j.finished = time.Now()
+	j.outcome = out
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// Stats are scheduler-wide counters, shaped for JSON.
+type Stats struct {
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Solved    int64 `json:"solved"`
+	Unknown   int64 `json:"unknown"`
+	Cancelled int64 `json:"cancelled"`
+	CacheHits int64 `json:"cache_hits"`
+	Rejected  int64 `json:"rejected"`
+	Queued    int   `json:"queued"`
+	Running   int   `json:"running"`
+	CacheLen  int   `json:"cache_len"`
+	Workers   int   `json:"workers"`
+}
+
+// Scheduler runs submitted jobs on a bounded worker pool.
+type Scheduler struct {
+	cfg   Config
+	cache *resultCache
+
+	mu       sync.Mutex
+	queue    chan *Job
+	jobs     map[string]*Job
+	doneIDs  []string // finished jobs in completion order, for history eviction
+	draining bool
+	nextID   int64
+
+	wg      sync.WaitGroup
+	running atomic.Int64
+
+	submitted atomic.Int64
+	completed atomic.Int64
+	solved    atomic.Int64
+	unknown   atomic.Int64
+	cancelled atomic.Int64
+	cacheHits atomic.Int64
+	rejected  atomic.Int64
+}
+
+// NewScheduler starts a scheduler with cfg (zero values take defaults).
+func NewScheduler(cfg Config) *Scheduler {
+	cfg = cfg.withDefaults()
+	s := &Scheduler{
+		cfg:   cfg,
+		cache: newResultCache(cfg.CacheSize),
+		queue: make(chan *Job, cfg.QueueCap),
+		jobs:  make(map[string]*Job),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a job. The formula is cloned, so the caller
+// may reuse f. A cache hit completes the job immediately without queueing.
+// Returns ErrQueueFull when the queue has no slot and ErrDraining after
+// Drain has begun.
+func (s *Scheduler) Submit(f *dqbf.Formula, eng Engine, lim Limits) (*Job, error) {
+	if eng == "" {
+		eng = s.cfg.DefaultEngine
+	}
+	if _, err := ParseEngine(string(eng)); err != nil {
+		return nil, err
+	}
+	if err := f.Validate(); err != nil {
+		s.rejected.Add(1)
+		return nil, err
+	}
+
+	timeout := lim.Timeout
+	if timeout <= 0 {
+		timeout = s.cfg.DefaultTimeout
+	}
+	if s.cfg.MaxTimeout > 0 && (timeout <= 0 || timeout > s.cfg.MaxTimeout) {
+		timeout = s.cfg.MaxTimeout
+	}
+	bl := budget.Limits{Timeout: timeout, Conflicts: lim.Conflicts, Decisions: lim.Decisions, Nodes: lim.Nodes}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.rejected.Add(1)
+		return nil, ErrDraining
+	}
+	s.nextID++
+	job := &Job{
+		id:        fmt.Sprintf("j%d", s.nextID),
+		f:         f.Clone(),
+		key:       CanonicalHash(f),
+		eng:       eng,
+		bud:       budget.New(bl),
+		state:     StateQueued,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+	}
+
+	if out, ok := s.cache.Get(job.key); ok {
+		out.FromCache = true
+		s.submitted.Add(1)
+		s.cacheHits.Add(1)
+		s.completed.Add(1)
+		s.solved.Add(1)
+		job.mu.Lock()
+		job.started = job.submitted
+		job.mu.Unlock()
+		job.finish(out)
+		s.remember(job)
+		return job, nil
+	}
+
+	select {
+	case s.queue <- job:
+	default:
+		s.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	s.submitted.Add(1)
+	s.jobs[job.id] = job
+	return job, nil
+}
+
+// remember records a finished job in the history, evicting the oldest
+// finished jobs beyond the history bound. Caller holds s.mu.
+func (s *Scheduler) remember(j *Job) {
+	s.jobs[j.id] = j
+	s.doneIDs = append(s.doneIDs, j.id)
+	for len(s.doneIDs) > s.cfg.HistorySize {
+		delete(s.jobs, s.doneIDs[0])
+		s.doneIDs = s.doneIDs[1:]
+	}
+}
+
+// Job returns the job with the given ID, if still tracked.
+func (s *Scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel stops the job with the given ID: a queued job completes as
+// cancelled once a worker picks it up; a running job's budget interrupts the
+// solver cores. Cancelling a finished job is a no-op.
+func (s *Scheduler) Cancel(id string) error {
+	j, ok := s.Job(id)
+	if !ok {
+		return ErrNoSuchJob
+	}
+	j.bud.Cancel()
+	return nil
+}
+
+// worker consumes the queue until it is closed by Drain.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	for job := range s.queue {
+		s.runJob(job)
+	}
+}
+
+func (s *Scheduler) runJob(job *Job) {
+	s.running.Add(1)
+	defer s.running.Add(-1)
+
+	job.mu.Lock()
+	job.state = StateRunning
+	job.started = time.Now()
+	job.mu.Unlock()
+
+	out, err := Run(job.f, job.eng, job.bud)
+	if err != nil {
+		// Unreachable for engines Submit validated; fail the job defensively.
+		out = Outcome{Verdict: VerdictUnknown, Reason: "cancelled"}
+	}
+	out.Conflicts = job.bud.ConflictsUsed()
+	out.Decisions = job.bud.DecisionsUsed()
+
+	s.completed.Add(1)
+	if out.Verdict != VerdictUnknown {
+		s.solved.Add(1)
+		s.cache.Put(job.key, Outcome{
+			Verdict: out.Verdict,
+			Engine:  out.Engine,
+			Reason:  out.Reason,
+		})
+	} else {
+		s.unknown.Add(1)
+		if out.Reason == "cancelled" {
+			s.cancelled.Add(1)
+		}
+	}
+	job.finish(out)
+
+	s.mu.Lock()
+	s.remember(job)
+	s.mu.Unlock()
+}
+
+// Drain stops accepting jobs, then waits for queued and running jobs to
+// finish or for ctx to expire — in the latter case every outstanding job is
+// cancelled and Drain waits for the workers to unwind before returning
+// ctx.Err(). Drain is idempotent; concurrent calls all wait.
+func (s *Scheduler) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+	}
+
+	// Hard drain: cancel everything still tracked, then wait for workers.
+	s.mu.Lock()
+	for _, j := range s.jobs {
+		j.bud.Cancel()
+	}
+	s.mu.Unlock()
+	for job := range s.queue { // release queued jobs the workers never took
+		job.finish(Outcome{Verdict: VerdictUnknown, Reason: "cancelled"})
+		s.completed.Add(1)
+		s.unknown.Add(1)
+		s.cancelled.Add(1)
+	}
+	<-idle
+	return ctx.Err()
+}
+
+// Draining reports whether Drain has begun.
+func (s *Scheduler) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Stats returns a snapshot of the scheduler counters.
+func (s *Scheduler) Stats() Stats {
+	return Stats{
+		Submitted: s.submitted.Load(),
+		Completed: s.completed.Load(),
+		Solved:    s.solved.Load(),
+		Unknown:   s.unknown.Load(),
+		Cancelled: s.cancelled.Load(),
+		CacheHits: s.cacheHits.Load(),
+		Rejected:  s.rejected.Load(),
+		Queued:    len(s.queue),
+		Running:   int(s.running.Load()),
+		CacheLen:  s.cache.Len(),
+		Workers:   s.cfg.Workers,
+	}
+}

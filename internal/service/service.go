@@ -1,0 +1,250 @@
+// Package service turns the batch DQBF solvers into a long-running solver
+// service: it provides cancellable engine runners over a shared budget, a
+// portfolio mode that races HQS against the iDQ baseline and cancels the
+// loser, a bounded worker-pool scheduler with a job queue and per-job
+// limits, and an LRU result cache keyed by a canonical hash of the parsed
+// formula.
+//
+// The package is the substrate of the hqsd daemon (cmd/hqsd) but is equally
+// usable in-process; every entry point is safe for concurrent use.
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/budget"
+	"repro/internal/core"
+	"repro/internal/dqbf"
+	"repro/internal/idq"
+)
+
+// Engine selects which solver core decides a job.
+type Engine string
+
+const (
+	// EngineHQS is the paper's elimination-based solver (internal/core).
+	EngineHQS Engine = "hqs"
+	// EngineIDQ is the instantiation-based baseline (internal/idq).
+	EngineIDQ Engine = "idq"
+	// EnginePortfolio races both engines and cancels the loser. Because both
+	// engines are sound, the reported verdict is deterministic even though
+	// the winning engine may vary from run to run.
+	EnginePortfolio Engine = "portfolio"
+)
+
+// ParseEngine maps a user-supplied engine name to an Engine; the empty
+// string selects the portfolio.
+func ParseEngine(s string) (Engine, error) {
+	switch Engine(s) {
+	case EngineHQS, EngineIDQ, EnginePortfolio:
+		return Engine(s), nil
+	case "":
+		return EnginePortfolio, nil
+	default:
+		return "", fmt.Errorf("service: unknown engine %q (want hqs, idq, or portfolio)", s)
+	}
+}
+
+// Verdict is the three-valued answer of a budgeted solve.
+type Verdict int
+
+const (
+	// VerdictUnknown means no verdict was reached (timeout, cancellation,
+	// or resource-out).
+	VerdictUnknown Verdict = iota
+	// VerdictSat means the DQBF is satisfiable.
+	VerdictSat
+	// VerdictUnsat means the DQBF is unsatisfiable.
+	VerdictUnsat
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictSat:
+		return "SAT"
+	case VerdictUnsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// MarshalJSON renders the verdict as its string form ("SAT", ...).
+func (v Verdict) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + v.String() + `"`), nil
+}
+
+// UnmarshalJSON parses the string form produced by MarshalJSON.
+func (v *Verdict) UnmarshalJSON(data []byte) error {
+	switch string(data) {
+	case `"SAT"`:
+		*v = VerdictSat
+	case `"UNSAT"`:
+		*v = VerdictUnsat
+	case `"UNKNOWN"`:
+		*v = VerdictUnknown
+	default:
+		return fmt.Errorf("service: bad verdict %s", data)
+	}
+	return nil
+}
+
+// Outcome is the result of one budgeted solve.
+type Outcome struct {
+	// Verdict is the answer (Unknown when the budget stopped the solve).
+	Verdict Verdict `json:"verdict"`
+	// Engine is the engine that produced the verdict; in portfolio mode the
+	// race winner. Empty when no engine reached a verdict.
+	Engine Engine `json:"engine,omitempty"`
+	// Reason explains the outcome: "solved", "timeout", "cancelled",
+	// "budget" (conflict/decision cap), or "memout" (node/instantiation
+	// cap).
+	Reason string `json:"reason"`
+	// FromCache marks a result served from the scheduler's LRU cache.
+	FromCache bool `json:"from_cache,omitempty"`
+	// Conflicts and Decisions are the CDCL totals metered into the job's
+	// budget across every oracle call of every engine involved.
+	Conflicts int64 `json:"conflicts"`
+	Decisions int64 `json:"decisions"`
+}
+
+// Run decides f with the given engine under budget b (nil means unlimited).
+// The formula is not modified. Conflict/decision meters are read from b, so
+// callers wanting per-call totals should pass a fresh budget per call.
+func Run(f *dqbf.Formula, eng Engine, b *budget.Budget) (Outcome, error) {
+	var out Outcome
+	switch eng {
+	case EngineHQS:
+		out = runHQS(f, b)
+	case EngineIDQ:
+		out = runIDQ(f, b)
+	case EnginePortfolio, "":
+		out = runPortfolio(f, b)
+	default:
+		return Outcome{}, fmt.Errorf("service: unknown engine %q", eng)
+	}
+	out.Conflicts = b.ConflictsUsed()
+	out.Decisions = b.DecisionsUsed()
+	return out, nil
+}
+
+// reasonFromErr maps a budget stop reason to an Outcome.Reason.
+func reasonFromErr(err error) string {
+	switch {
+	case err == nil:
+		return "cancelled"
+	case errors.Is(err, budget.ErrDeadline):
+		return "timeout"
+	case errors.Is(err, budget.ErrCancelled):
+		return "cancelled"
+	case errors.Is(err, budget.ErrConflicts), errors.Is(err, budget.ErrDecisions):
+		return "budget"
+	default:
+		return "cancelled"
+	}
+}
+
+func runHQS(f *dqbf.Formula, b *budget.Budget) Outcome {
+	opt := core.DefaultOptions()
+	opt.Budget = b
+	res := core.New(opt).Solve(f)
+	out := Outcome{Engine: EngineHQS}
+	switch res.Status {
+	case core.Solved:
+		out.Reason = "solved"
+		if res.Sat {
+			out.Verdict = VerdictSat
+		} else {
+			out.Verdict = VerdictUnsat
+		}
+	case core.Timeout:
+		out.Reason = "timeout"
+	case core.Memout:
+		out.Reason = "memout"
+	case core.Cancelled:
+		out.Reason = reasonFromErr(b.Err())
+	}
+	return out
+}
+
+func runIDQ(f *dqbf.Formula, b *budget.Budget) Outcome {
+	res := idq.New(idq.Options{Budget: b}).Solve(f)
+	out := Outcome{Engine: EngineIDQ}
+	switch res.Status {
+	case idq.Solved:
+		out.Reason = "solved"
+		if res.Sat {
+			out.Verdict = VerdictSat
+		} else {
+			out.Verdict = VerdictUnsat
+		}
+	case idq.Timeout:
+		out.Reason = "timeout"
+	case idq.Memout:
+		out.Reason = "memout"
+	case idq.Cancelled:
+		out.Reason = reasonFromErr(b.Err())
+	}
+	return out
+}
+
+// runPortfolio races HQS and iDQ on child budgets of b. The first definitive
+// verdict wins and the loser is cancelled; if the parent budget stops first,
+// both children are cancelled. Different engines win on different instance
+// families (HQS on elimination-friendly prefixes, iDQ on refutable
+// instances), which is the point of keeping both live behind one interface.
+func runPortfolio(f *dqbf.Formula, b *budget.Budget) Outcome {
+	b1, b2 := b.Child(), b.Child()
+	ch := make(chan Outcome, 2)
+	go func() { ch <- runHQS(f, b1) }()
+	go func() { ch <- runIDQ(f, b2) }()
+
+	var winner *Outcome
+	var unknownReasons []string
+	doneCh := b.Done()
+	for n := 0; n < 2; {
+		select {
+		case o := <-ch:
+			n++
+			if o.Verdict != VerdictUnknown {
+				if winner == nil {
+					o := o
+					winner = &o
+					// Cancel the loser; keep draining so both goroutines
+					// finish before we fold the meters back.
+					b1.Cancel()
+					b2.Cancel()
+				}
+			} else {
+				unknownReasons = append(unknownReasons, o.Reason)
+			}
+		case <-doneCh:
+			doneCh = nil
+			b1.Cancel()
+			b2.Cancel()
+		}
+	}
+	b.AddConflicts(b1.ConflictsUsed() + b2.ConflictsUsed())
+	b.AddDecisions(b1.DecisionsUsed() + b2.DecisionsUsed())
+	if winner != nil {
+		return *winner
+	}
+	// Both engines came back empty-handed. If the parent budget stopped the
+	// race, report its reason; otherwise merge the children's reasons by a
+	// fixed priority so the report does not depend on arrival order.
+	out := Outcome{Verdict: VerdictUnknown, Engine: EnginePortfolio, Reason: "cancelled"}
+	if err := b.Err(); err != nil {
+		out.Reason = reasonFromErr(err)
+		return out
+	}
+	for _, want := range []string{"timeout", "memout", "budget", "cancelled"} {
+		for _, r := range unknownReasons {
+			if r == want {
+				out.Reason = want
+				return out
+			}
+		}
+	}
+	return out
+}
