@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check serve-smoke bench bench-sat bench-sweep baseline
+.PHONY: build test race vet check fuzz-smoke chaos serve-smoke bench bench-sat bench-sweep baseline
 
 build:
 	$(GO) build ./...
@@ -12,16 +12,30 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the packages with concurrent code paths (the parallel SAT
-# sweep, the SAT substrate it drives, the job scheduler/portfolio, and the
-# daemon's HTTP handlers).
+# sweep, the SAT substrate it drives, the job scheduler/portfolio, the
+# fault-injection plumbing they share, and the daemon's HTTP handlers).
 race:
-	$(GO) test -race ./internal/sat ./internal/aig ./internal/service ./cmd/hqsd
+	$(GO) test -race ./internal/sat ./internal/aig ./internal/service ./internal/faults ./internal/leakcheck ./cmd/hqsd
 
-# The PR gate: vet, the full test suite, and the race pass.
+# Differential fuzzing smoke run: 200 random instances, every solver
+# configuration against the brute-force reference.
+fuzz-smoke:
+	$(GO) run ./cmd/dqbffuzz -n 200
+
+# Chaos drill under the race detector: fault-injected panics, errors, and
+# spurious Unknowns against the scheduler with concurrent submits, cancels,
+# and drains.
+chaos:
+	$(GO) test -race -run 'TestChaos|TestDrainRace' -v ./internal/service
+
+# The PR gate: vet, the full test suite, the race pass, the fuzz smoke, and
+# the chaos drill.
 check:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/sat ./internal/aig ./internal/service ./cmd/hqsd
+	$(GO) test -race ./internal/sat ./internal/aig ./internal/service ./internal/faults ./internal/leakcheck ./cmd/hqsd
+	$(GO) run ./cmd/dqbffuzz -n 200
+	$(GO) test -race -run 'TestChaos|TestDrainRace' ./internal/service
 
 # End-to-end service smoke test: build hqsd, start it, solve the example
 # instance over HTTP in portfolio mode, drain gracefully via SIGTERM.

@@ -7,15 +7,22 @@
 //
 // API:
 //
-//	POST   /jobs?engine=portfolio&timeout=30s   body: DQDIMACS  -> 202 job snapshot
+//	POST   /jobs?engine=portfolio&timeout=30s   body: DQDIMACS  -> 202 job snapshot | 429 queue full
 //	GET    /jobs/{id}                                           -> job snapshot
 //	DELETE /jobs/{id}                                           -> cancel job
-//	POST   /solve?engine=hqs&timeout=10s        body: DQDIMACS  -> 200 finished job
-//	GET    /healthz                                             -> 200 ok | 503 draining
+//	POST   /solve?engine=hqs&timeout=10s        body: DQDIMACS  -> 200 finished job | 504 request timeout
+//	GET    /healthz                                             -> liveness: 200 ok | 503 shutting down
+//	GET    /readyz                                              -> readiness: 200 ready | 503 draining or saturated
 //	GET    /stats                                               -> scheduler counters
 //
 // Limit query parameters: timeout (Go duration), conflicts, decisions
-// (CDCL caps), nodes (AIG node cap).
+// (CDCL caps), nodes (AIG node cap). Oversized bodies get 413 (-max-body).
+//
+// Failure handling: engine panics and oracle errors are contained per job
+// (verdict ERROR, worker survives), transient failures are retried with
+// backoff and fall back along hqs → portfolio → idq. The -faults flag
+// activates a fault-injection plan (see internal/faults) for chaos drills,
+// e.g. -faults 'sat.solve:panic:p=0.1;cache.lookup:error:every=3'.
 package main
 
 import (
@@ -30,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/service"
 )
 
@@ -43,6 +51,10 @@ func main() {
 		defTimeout   = flag.Duration("default-timeout", 0, "per-job timeout when the client sets none (0 = none)")
 		maxTimeout   = flag.Duration("max-timeout", 0, "clamp on per-job timeouts (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")
+		maxBody      = flag.Int64("max-body", 64<<20, "request body size limit in bytes")
+		reqTimeout   = flag.Duration("request-timeout", 0, "per-request bound on blocking /solve calls (0 = none)")
+		faultSpec    = flag.String("faults", "", "fault-injection plan for chaos drills, e.g. 'sat.solve:panic:p=0.1'")
+		faultSeed    = flag.Int64("fault-seed", 1, "seed for probabilistic fault rules")
 	)
 	flag.Parse()
 
@@ -50,6 +62,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hqsd:", err)
 		os.Exit(1)
+	}
+	if *faultSpec != "" {
+		plan, err := faults.ParseSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hqsd:", err)
+			os.Exit(1)
+		}
+		faults.Activate(plan)
+		log.Printf("hqsd: fault injection ACTIVE: %s (seed %d)", *faultSpec, *faultSeed)
 	}
 	sched := service.NewScheduler(service.Config{
 		Workers:        *workers,
@@ -60,7 +81,15 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 	})
 	srv := newServer(sched)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.handler()}
+	srv.maxBody = *maxBody
+	srv.requestTimeout = *reqTimeout
+	httpSrv := &http.Server{
+		Addr:    *addr,
+		Handler: srv.handler(),
+		// Slow-loris protection; bodies are bounded per handler instead so a
+		// large legitimate instance can still stream in.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, syscall.SIGTERM, syscall.SIGINT)

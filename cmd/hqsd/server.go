@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -21,6 +23,9 @@ type server struct {
 	healthy atomic.Bool
 	// maxBody bounds request bodies (DQDIMACS text) in bytes.
 	maxBody int64
+	// requestTimeout bounds a blocking /solve request; 0 disables the bound
+	// (the job's own timeout still applies).
+	requestTimeout time.Duration
 }
 
 func newServer(sched *service.Scheduler) *server {
@@ -36,8 +41,26 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /solve", s.handleSolve)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
-	return mux
+	return s.recoverer(mux)
+}
+
+// recoverer is the daemon's last-resort panic boundary: a handler panic
+// becomes a 500 JSON error on that one request instead of a closed
+// connection. The solver cores have their own containment in the service
+// layer; this guards the HTTP plumbing itself.
+func (s *server) recoverer(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				log.Printf("hqsd: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				writeJSON(w, http.StatusInternalServerError,
+					map[string]string{"error": fmt.Sprintf("internal error: %v", rec)})
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -94,6 +117,12 @@ func (s *server) parseJobRequest(w http.ResponseWriter, r *http.Request) (*dqbf.
 
 	f, err := dqbf.ParseDQDIMACS(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return nil, "", service.Limits{}, false
+		}
 		writeError(w, http.StatusBadRequest, err)
 		return nil, "", service.Limits{}, false
 	}
@@ -108,7 +137,10 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) (*service.Job, b
 	job, err := s.sched.Submit(f, eng, lim)
 	switch {
 	case errors.Is(err, service.ErrQueueFull):
-		writeError(w, http.StatusServiceUnavailable, err)
+		// Load shedding: the client should back off and retry, which is 429,
+		// not 503 — the instance is healthy, just saturated.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, err)
 		return nil, false
 	case errors.Is(err, service.ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -129,16 +161,27 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, job.Info())
 }
 
-// handleSolve submits and blocks until the job finishes (or the client goes
-// away, in which case the job is cancelled).
+// handleSolve submits and blocks until the job finishes, the client goes
+// away (job cancelled), or the per-request timeout expires (504, job
+// cancelled) — a synchronous endpoint must not hold connections forever.
 func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.submit(w, r)
 	if !ok {
 		return
 	}
+	var timeoutCh <-chan time.Time
+	if s.requestTimeout > 0 {
+		timer := time.NewTimer(s.requestTimeout)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
 	select {
 	case <-job.Done():
 		writeJSON(w, http.StatusOK, job.Info())
+	case <-timeoutCh:
+		s.sched.Cancel(job.ID())
+		writeError(w, http.StatusGatewayTimeout,
+			fmt.Errorf("request timeout after %v; job %s cancelled", s.requestTimeout, job.ID()))
 	case <-r.Context().Done():
 		s.sched.Cancel(job.ID())
 		<-job.Done()
@@ -163,12 +206,28 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"id": id, "status": "cancelling"})
 }
 
+// handleHealthz is liveness: 200 while the process serves requests, 503 once
+// shutdown has begun. Use /readyz to decide whether to route new work here.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if !s.healthy.Load() || s.sched.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is readiness: 503 while the instance should not receive new
+// jobs — shutting down, draining, or with a full queue. Distinct from
+// /healthz so a saturated-but-healthy instance is depooled, not restarted.
+func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	switch {
+	case !s.healthy.Load() || s.sched.Draining():
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case s.sched.QueueFree() == 0:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "saturated"})
+	default:
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -8,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/leakcheck"
 	"repro/internal/service"
 )
 
@@ -34,10 +36,20 @@ d 2 0
 
 func newTestServer(t *testing.T, cfg service.Config) (*server, *httptest.Server) {
 	t.Helper()
+	// Registered first so its cleanup assertion runs last, after the
+	// scheduler has drained: dead workers or stuck jobs show up as leaks.
+	leakcheck.Check(t)
 	sched := service.NewScheduler(cfg)
 	srv := newServer(sched)
 	ts := httptest.NewServer(srv.handler())
-	t.Cleanup(ts.Close)
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+		defer cancel()
+		if err := sched.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
 	return srv, ts
 }
 

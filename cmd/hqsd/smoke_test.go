@@ -62,6 +62,16 @@ func TestServeSmoke(t *testing.T) {
 		time.Sleep(50 * time.Millisecond)
 	}
 
+	// Readiness must agree with liveness on an idle instance.
+	if resp, err := http.Get(base + "/readyz"); err != nil {
+		t.Fatalf("GET /readyz: %v", err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("/readyz = %d on an idle instance", resp.StatusCode)
+		}
+	}
+
 	instance, err := os.ReadFile("../../examples/example1.dqdimacs")
 	if err != nil {
 		t.Fatalf("read example: %v", err)

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/cnf"
+	"repro/internal/faults"
 	"repro/internal/sat"
 )
 
@@ -61,6 +62,8 @@ type SweepStats struct {
 	Merged     int // pairs proven equivalent and merged
 	SatCalls   int // individual SAT oracle invocations (up to two per pair)
 	Workers    int // size of the worker pool actually used
+	Skipped    int // sweeps skipped outright (injected fault at aig.sweep)
+	Panics     int // worker panics contained (candidates left unproven)
 
 	// SAT substrate footprint, aggregated over the pool's private solvers.
 	ArenaBytes  int   // peak packed-clause-arena size of any one solver
@@ -72,6 +75,8 @@ func (s *SweepStats) Add(o SweepStats) {
 	s.Candidates += o.Candidates
 	s.Merged += o.Merged
 	s.SatCalls += o.SatCalls
+	s.Skipped += o.Skipped
+	s.Panics += o.Panics
 	s.Compactions += o.Compactions
 	if o.ArenaBytes > s.ArenaBytes {
 		s.ArenaBytes = o.ArenaBytes
@@ -148,6 +153,12 @@ type sweepCand struct {
 // bit-identical to the serial result whenever no query hits its budget.
 func (g *Graph) Sweep(r Ref, opt SweepOptions) (Ref, SweepStats) {
 	var stats SweepStats
+	// Fault-injection seam: sweeping is an optimization, so a fault here is
+	// contained by skipping the sweep — the unswept cone is equivalent.
+	if err := faults.Fire(faults.AIGSweep); err != nil {
+		stats.Skipped++
+		return r, stats
+	}
 	if r.IsConst() {
 		return r, stats
 	}
@@ -268,8 +279,18 @@ func (g *Graph) Sweep(r Ref, opt SweepOptions) (Ref, SweepStats) {
 	// runWorker checks cands[w], cands[w+workers], ... on a private solver.
 	// Static striding keeps each worker's query sequence — and therefore any
 	// budget-exhaustion outcome — deterministic for a fixed pool size.
-	runWorker := func(w int) SweepStats {
-		var st SweepStats
+	//
+	// A panic escaping a SAT query (notably an injected one) is contained
+	// here rather than killing the pool: the worker's remaining candidates
+	// stay unproven, which is sound because unproven pairs are simply not
+	// merged. Containment must live in the worker goroutine itself — a
+	// recover further up the call stack cannot catch it.
+	runWorker := func(w int) (st SweepStats) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				st.Panics++
+			}
+		}()
 		solver := sat.New()
 		solver.AddFormula(formula)
 		solver.ConflictBudget = opt.ConflictBudget

@@ -19,9 +19,11 @@ package maxsat
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/budget"
 	"repro/internal/cnf"
+	"repro/internal/faults"
 	"repro/internal/sat"
 )
 
@@ -88,6 +90,11 @@ type Result struct {
 // Solve computes an assignment satisfying all hard clauses and a maximum
 // number of soft clauses.
 func (m *Solver) Solve() (Result, error) {
+	// Fault-injection seam: the MaxSAT oracle of the elimination-set
+	// selection. An injected error surfaces like any other oracle failure.
+	if err := faults.Fire(faults.MaxSATSolve); err != nil {
+		return Result{}, fmt.Errorf("maxsat: %w", err)
+	}
 	s := sat.New()
 	s.Budget = m.Budget
 	s.EnsureVars(m.numVars)

@@ -21,6 +21,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
+	"repro/internal/faults"
 )
 
 // ErrTimeout is returned by Solve when the deadline passes before a verdict.
@@ -141,9 +142,19 @@ func (s *Solver) Solve(prefix []dqbf.Block, matrix aig.Ref) (result bool, err er
 		}
 	}
 
+	finalSAT := s.Opt.FinalSAT
 	for len(blocks) > 0 {
 		if err := stopErr(); err != nil {
 			return false, err
+		}
+		// Fault-injection seam: one block-elimination step. A spurious
+		// Unknown unwinds like a cancellation; an injected error surfaces
+		// as a back-end failure.
+		if ferr := faults.Fire(faults.QBFEliminate); ferr != nil {
+			if errors.Is(ferr, faults.ErrUnknown) {
+				return false, ErrCancelled
+			}
+			return false, fmt.Errorf("qbf: %w", ferr)
 		}
 		if m.IsConst() {
 			return m == aig.True, nil
@@ -165,7 +176,14 @@ func (s *Solver) Solve(prefix []dqbf.Block, matrix aig.Ref) (result bool, err er
 			blocks = blocks[:len(blocks)-1]
 			continue
 		}
-		if inner.exist && len(blocks) == 1 && s.Opt.FinalSAT {
+		if inner.exist && len(blocks) == 1 && finalSAT {
+			// Fault-injection seam: the final SAT shortcut is an
+			// optimization, so a fault here is contained by falling back to
+			// plain variable elimination for the remaining block.
+			if ferr := faults.Fire(faults.AIGFinalSAT); ferr != nil {
+				finalSAT = false
+				continue
+			}
 			// Outermost existential block: one SAT call, under the budget so
 			// a cancellation interrupts the CDCL search itself.
 			s.Stat.FinalSATRun = true

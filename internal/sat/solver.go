@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/cnf"
+	"repro/internal/faults"
 )
 
 // Status is the result of a Solve call.
@@ -640,6 +641,13 @@ func (s *Solver) SolveErr(assumps []cnf.Lit) (Status, error) {
 }
 
 func (s *Solver) solve(assumps []cnf.Lit) (Status, error) {
+	// Fault-injection seam: every CDCL oracle call in the stack funnels
+	// through here, so an armed plan can panic, stall, or fail the oracle.
+	if err := faults.Fire(faults.SATSolve); err != nil {
+		s.model = nil
+		s.conflictSet = nil
+		return Unknown, err
+	}
 	if !s.ok {
 		s.conflictSet = nil
 		return Unsat, nil

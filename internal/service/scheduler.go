@@ -4,12 +4,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/budget"
 	"repro/internal/dqbf"
+	"repro/internal/faults"
 )
 
 // Errors returned by Submit and Cancel.
@@ -40,6 +42,9 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxTimeout clamps per-job timeouts; 0 means no clamp.
 	MaxTimeout time.Duration
+	// Retry is the transient-failure policy applied to every job (zero
+	// values take the RetryPolicy defaults).
+	Retry RetryPolicy
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +63,7 @@ func (c Config) withDefaults() Config {
 	if c.DefaultEngine == "" {
 		c.DefaultEngine = EnginePortfolio
 	}
+	c.Retry = c.Retry.withDefaults()
 	return c
 }
 
@@ -80,7 +86,9 @@ const (
 	StateQueued JobState = "queued"
 	// StateRunning means a worker is solving the job.
 	StateRunning JobState = "running"
-	// StateDone means the job finished (its Outcome is final).
+	// StateDone means the job finished (its Outcome is final). Done is the
+	// only terminal state; the outcome's verdict distinguishes solved,
+	// budget-stopped (Unknown), and failed (Error) jobs.
 	StateDone JobState = "done"
 )
 
@@ -149,13 +157,26 @@ func (j *Job) Info() JobInfo {
 	return info
 }
 
-func (j *Job) finish(out Outcome) {
+// finish moves the job to StateDone exactly once; it reports whether this
+// call performed the transition, so racing finishers (a worker and a drain
+// flush, or a panic recovery after a completed hand-off) cannot double-count
+// stats or double-close the done channel.
+func (j *Job) finish(out Outcome) bool {
 	j.mu.Lock()
+	if j.state == StateDone {
+		j.mu.Unlock()
+		return false
+	}
+	if j.started.IsZero() {
+		// Finished without ever running (cache hit or drain flush).
+		j.started = j.submitted
+	}
 	j.state = StateDone
 	j.finished = time.Now()
 	j.outcome = out
 	j.mu.Unlock()
 	close(j.done)
+	return true
 }
 
 // Stats are scheduler-wide counters, shaped for JSON.
@@ -165,6 +186,17 @@ type Stats struct {
 	Solved    int64 `json:"solved"`
 	Unknown   int64 `json:"unknown"`
 	Cancelled int64 `json:"cancelled"`
+	// Errors counts jobs that finished with VerdictError after retries and
+	// fallbacks were exhausted.
+	Errors int64 `json:"errors"`
+	// Retries counts engine re-runs beyond each job's first attempt
+	// (fallback attempts included).
+	Retries int64 `json:"retries"`
+	// Fallbacks is the summed fallback depth of finished jobs (how many
+	// chain steps past the requested engine were needed).
+	Fallbacks int64 `json:"fallbacks"`
+	// Panics counts engine or worker panics that were contained.
+	Panics    int64 `json:"panics"`
 	CacheHits int64 `json:"cache_hits"`
 	Rejected  int64 `json:"rejected"`
 	Queued    int   `json:"queued"`
@@ -193,6 +225,10 @@ type Scheduler struct {
 	solved    atomic.Int64
 	unknown   atomic.Int64
 	cancelled atomic.Int64
+	errored   atomic.Int64
+	retries   atomic.Int64
+	fallbacks atomic.Int64
+	panics    atomic.Int64
 	cacheHits atomic.Int64
 	rejected  atomic.Int64
 }
@@ -215,8 +251,10 @@ func NewScheduler(cfg Config) *Scheduler {
 
 // Submit validates and enqueues a job. The formula is cloned, so the caller
 // may reuse f. A cache hit completes the job immediately without queueing.
-// Returns ErrQueueFull when the queue has no slot and ErrDraining after
-// Drain has begun.
+// Returns ErrQueueFull when the queue has no slot and ErrDraining once Drain
+// has begun — the draining check and the queue send happen under one lock
+// with Drain's queue close, so a job is either rejected with ErrDraining or
+// enqueued before the close and guaranteed to reach a terminal state.
 func (s *Scheduler) Submit(f *dqbf.Formula, eng Engine, lim Limits) (*Job, error) {
 	if eng == "" {
 		eng = s.cfg.DefaultEngine
@@ -256,15 +294,12 @@ func (s *Scheduler) Submit(f *dqbf.Formula, eng Engine, lim Limits) (*Job, error
 		done:      make(chan struct{}),
 	}
 
-	if out, ok := s.cache.Get(job.key); ok {
+	if out, ok := s.cacheLookup(job.key); ok {
 		out.FromCache = true
 		s.submitted.Add(1)
 		s.cacheHits.Add(1)
 		s.completed.Add(1)
 		s.solved.Add(1)
-		job.mu.Lock()
-		job.started = job.submitted
-		job.mu.Unlock()
 		job.finish(out)
 		s.remember(job)
 		return job, nil
@@ -279,6 +314,18 @@ func (s *Scheduler) Submit(f *dqbf.Formula, eng Engine, lim Limits) (*Job, error
 	s.submitted.Add(1)
 	s.jobs[job.id] = job
 	return job, nil
+}
+
+// cacheLookup consults the result cache with panic containment: a broken
+// (or fault-injected) cache must degrade to a miss, never take Submit down.
+func (s *Scheduler) cacheLookup(key string) (out Outcome, ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			out, ok = Outcome{}, false
+		}
+	}()
+	return s.cache.Get(key)
 }
 
 // remember records a finished job in the history, evicting the oldest
@@ -320,48 +367,97 @@ func (s *Scheduler) worker() {
 	}
 }
 
+// finishJob completes a job exactly once: the first finisher records stats,
+// feeds the cache, and files the job into history; later racers are no-ops.
+func (s *Scheduler) finishJob(job *Job, out Outcome) {
+	if !job.finish(out) {
+		return
+	}
+	s.completed.Add(1)
+	switch out.Verdict {
+	case VerdictSat, VerdictUnsat:
+		s.solved.Add(1)
+		// Only definitive verdicts are cached: Unknown depends on the
+		// budget that produced it and Error on the failure that did.
+		s.cache.Put(job.key, Outcome{
+			Verdict: out.Verdict,
+			Engine:  out.Engine,
+			Reason:  out.Reason,
+		})
+	case VerdictError:
+		s.errored.Add(1)
+	default:
+		s.unknown.Add(1)
+		if out.Reason == "cancelled" {
+			s.cancelled.Add(1)
+		}
+	}
+	s.mu.Lock()
+	s.remember(job)
+	s.mu.Unlock()
+}
+
 func (s *Scheduler) runJob(job *Job) {
 	s.running.Add(1)
 	defer s.running.Add(-1)
+	// Last line of defense: no panic may kill a worker. Engine panics are
+	// already converted to Error outcomes further down; this recover
+	// contains everything else (injected dispatch panics, bugs in the
+	// scheduler's own bookkeeping) and still moves the job to a terminal
+	// state. finishJob's first-finisher rule keeps a late panic after a
+	// successful hand-off from double-counting.
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			s.finishJob(job, Outcome{
+				Verdict:    VerdictError,
+				Engine:     job.eng,
+				Reason:     "error",
+				Error:      fmt.Sprintf("worker panic: %v", r),
+				PanicStack: string(debug.Stack()),
+			})
+		}
+	}()
 
 	job.mu.Lock()
 	job.state = StateRunning
 	job.started = time.Now()
 	job.mu.Unlock()
 
-	out, err := Run(job.f, job.eng, job.bud)
-	if err != nil {
-		// Unreachable for engines Submit validated; fail the job defensively.
-		out = Outcome{Verdict: VerdictUnknown, Reason: "cancelled"}
+	// Fault-injection seam: worker dispatch, before any engine runs.
+	if err := faults.Fire(faults.SchedDispatch); err != nil {
+		s.finishJob(job, Outcome{
+			Verdict: VerdictError,
+			Engine:  job.eng,
+			Reason:  "error",
+			Error:   fmt.Sprintf("dispatch failed: %v", err),
+		})
+		return
 	}
+
+	attempt := 0
+	out := solveRetry(job.f, job.eng, job.bud, s.cfg.Retry, func(att Outcome) {
+		attempt++
+		if attempt > 1 {
+			s.retries.Add(1)
+		}
+		if att.PanicStack != "" {
+			s.panics.Add(1)
+		}
+	})
+	s.fallbacks.Add(int64(out.Fallbacks))
 	out.Conflicts = job.bud.ConflictsUsed()
 	out.Decisions = job.bud.DecisionsUsed()
-
-	s.completed.Add(1)
-	if out.Verdict != VerdictUnknown {
-		s.solved.Add(1)
-		s.cache.Put(job.key, Outcome{
-			Verdict: out.Verdict,
-			Engine:  out.Engine,
-			Reason:  out.Reason,
-		})
-	} else {
-		s.unknown.Add(1)
-		if out.Reason == "cancelled" {
-			s.cancelled.Add(1)
-		}
-	}
-	job.finish(out)
-
-	s.mu.Lock()
-	s.remember(job)
-	s.mu.Unlock()
+	s.finishJob(job, out)
 }
 
 // Drain stops accepting jobs, then waits for queued and running jobs to
 // finish or for ctx to expire — in the latter case every outstanding job is
 // cancelled and Drain waits for the workers to unwind before returning
-// ctx.Err(). Drain is idempotent; concurrent calls all wait.
+// ctx.Err(). Drain is idempotent; concurrent calls all wait. Submissions
+// racing Drain either land in the queue before it closes (and are run or
+// flushed to a cancelled terminal state) or fail with ErrDraining; none are
+// silently dropped.
 func (s *Scheduler) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
@@ -388,10 +484,7 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 	}
 	s.mu.Unlock()
 	for job := range s.queue { // release queued jobs the workers never took
-		job.finish(Outcome{Verdict: VerdictUnknown, Reason: "cancelled"})
-		s.completed.Add(1)
-		s.unknown.Add(1)
-		s.cancelled.Add(1)
+		s.finishJob(job, Outcome{Verdict: VerdictUnknown, Reason: "cancelled"})
 	}
 	<-idle
 	return ctx.Err()
@@ -404,6 +497,17 @@ func (s *Scheduler) Draining() bool {
 	return s.draining
 }
 
+// QueueFree returns the number of free queue slots (0 when draining), the
+// load signal behind hqsd's readiness endpoint and 429 shedding.
+func (s *Scheduler) QueueFree() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return 0
+	}
+	return cap(s.queue) - len(s.queue)
+}
+
 // Stats returns a snapshot of the scheduler counters.
 func (s *Scheduler) Stats() Stats {
 	return Stats{
@@ -412,6 +516,10 @@ func (s *Scheduler) Stats() Stats {
 		Solved:    s.solved.Load(),
 		Unknown:   s.unknown.Load(),
 		Cancelled: s.cancelled.Load(),
+		Errors:    s.errored.Load(),
+		Retries:   s.retries.Load(),
+		Fallbacks: s.fallbacks.Load(),
+		Panics:    s.panics.Load(),
 		CacheHits: s.cacheHits.Load(),
 		Rejected:  s.rejected.Load(),
 		Queued:    len(s.queue),

@@ -5,6 +5,13 @@
 // limits, and an LRU result cache keyed by a canonical hash of the parsed
 // formula.
 //
+// The package is also the failure-containment boundary of the stack: every
+// engine attempt runs under recover (a panicking solver core becomes an
+// Error verdict with the stack captured, never a dead worker), transient
+// failures are retried with exponential backoff and jitter, failed engines
+// fall back along the chain hqs → portfolio → idq, and SAT verdicts backed
+// by Skolem certificates are verified before they are reported.
+//
 // The package is the substrate of the hqsd daemon (cmd/hqsd) but is equally
 // usable in-process; every entry point is safe for concurrent use.
 package service
@@ -12,10 +19,12 @@ package service
 import (
 	"errors"
 	"fmt"
+	"runtime/debug"
 
 	"repro/internal/budget"
 	"repro/internal/core"
 	"repro/internal/dqbf"
+	"repro/internal/faults"
 	"repro/internal/idq"
 )
 
@@ -46,7 +55,7 @@ func ParseEngine(s string) (Engine, error) {
 	}
 }
 
-// Verdict is the three-valued answer of a budgeted solve.
+// Verdict is the four-valued answer of a budgeted solve.
 type Verdict int
 
 const (
@@ -57,6 +66,12 @@ const (
 	VerdictSat
 	// VerdictUnsat means the DQBF is unsatisfiable.
 	VerdictUnsat
+	// VerdictError means the solve failed rather than ran out of budget: an
+	// engine panicked, an oracle returned an injected or internal error, or
+	// a Skolem certificate failed verification. Error outcomes are never
+	// cached and are produced only after retries and fallbacks were
+	// exhausted.
+	VerdictError
 )
 
 func (v Verdict) String() string {
@@ -65,6 +80,8 @@ func (v Verdict) String() string {
 		return "SAT"
 	case VerdictUnsat:
 		return "UNSAT"
+	case VerdictError:
+		return "ERROR"
 	default:
 		return "UNKNOWN"
 	}
@@ -84,6 +101,8 @@ func (v *Verdict) UnmarshalJSON(data []byte) error {
 		*v = VerdictUnsat
 	case `"UNKNOWN"`:
 		*v = VerdictUnknown
+	case `"ERROR"`:
+		*v = VerdictError
 	default:
 		return fmt.Errorf("service: bad verdict %s", data)
 	}
@@ -92,17 +111,29 @@ func (v *Verdict) UnmarshalJSON(data []byte) error {
 
 // Outcome is the result of one budgeted solve.
 type Outcome struct {
-	// Verdict is the answer (Unknown when the budget stopped the solve).
+	// Verdict is the answer (Unknown when the budget stopped the solve,
+	// Error when the solve failed).
 	Verdict Verdict `json:"verdict"`
 	// Engine is the engine that produced the verdict; in portfolio mode the
 	// race winner. Empty when no engine reached a verdict.
 	Engine Engine `json:"engine,omitempty"`
 	// Reason explains the outcome: "solved", "timeout", "cancelled",
-	// "budget" (conflict/decision cap), or "memout" (node/instantiation
-	// cap).
+	// "budget" (conflict/decision cap), "memout" (node/instantiation cap),
+	// or "error" (engine failure; see Error).
 	Reason string `json:"reason"`
+	// Error describes the failure behind a VerdictError outcome.
+	Error string `json:"error,omitempty"`
+	// PanicStack is the captured goroutine stack when the failure was a
+	// panic, preserved in the job record for postmortems.
+	PanicStack string `json:"panic_stack,omitempty"`
 	// FromCache marks a result served from the scheduler's LRU cache.
 	FromCache bool `json:"from_cache,omitempty"`
+	// Attempts counts engine runs performed for this outcome, including
+	// retries and fallback runs (0 for cache hits, otherwise >= 1).
+	Attempts int `json:"attempts,omitempty"`
+	// Fallbacks counts how far the outcome fell down the engine fallback
+	// chain (0 = the requested engine answered).
+	Fallbacks int `json:"fallbacks,omitempty"`
 	// Conflicts and Decisions are the CDCL totals metered into the job's
 	// budget across every oracle call of every engine involved.
 	Conflicts int64 `json:"conflicts"`
@@ -110,23 +141,46 @@ type Outcome struct {
 }
 
 // Run decides f with the given engine under budget b (nil means unlimited).
-// The formula is not modified. Conflict/decision meters are read from b, so
-// callers wanting per-call totals should pass a fresh budget per call.
+// It performs exactly one attempt — no retries or fallbacks (see Solve for
+// the hardened entry point) — but panics are still isolated into a
+// VerdictError outcome, and SAT answers carrying a Skolem certificate are
+// verified before being reported. The formula is not modified.
+// Conflict/decision meters are read from b, so callers wanting per-call
+// totals should pass a fresh budget per call.
 func Run(f *dqbf.Formula, eng Engine, b *budget.Budget) (Outcome, error) {
-	var out Outcome
-	switch eng {
-	case EngineHQS:
-		out = runHQS(f, b)
-	case EngineIDQ:
-		out = runIDQ(f, b)
-	case EnginePortfolio, "":
-		out = runPortfolio(f, b)
-	default:
-		return Outcome{}, fmt.Errorf("service: unknown engine %q", eng)
+	if _, err := ParseEngine(string(eng)); err != nil {
+		return Outcome{}, err
 	}
+	out := runGuarded(f, eng, b)
+	out.Attempts = 1
 	out.Conflicts = b.ConflictsUsed()
 	out.Decisions = b.DecisionsUsed()
 	return out, nil
+}
+
+// runGuarded executes one engine attempt with panic isolation: a panic
+// anywhere in the engine (or injected by a fault plan) is converted into a
+// VerdictError outcome carrying the message and captured stack.
+func runGuarded(f *dqbf.Formula, eng Engine, b *budget.Budget) (out Outcome) {
+	defer func() {
+		if r := recover(); r != nil {
+			out = Outcome{
+				Verdict:    VerdictError,
+				Engine:     eng,
+				Reason:     "error",
+				Error:      fmt.Sprintf("engine %s panicked: %v", eng, r),
+				PanicStack: string(debug.Stack()),
+			}
+		}
+	}()
+	switch eng {
+	case EngineHQS:
+		return runHQS(f, b)
+	case EngineIDQ:
+		return runIDQ(f, b)
+	default:
+		return runPortfolio(f, b)
+	}
 }
 
 // reasonFromErr maps a budget stop reason to an Outcome.Reason.
@@ -173,12 +227,25 @@ func runIDQ(f *dqbf.Formula, b *budget.Budget) Outcome {
 	out := Outcome{Engine: EngineIDQ}
 	switch res.Status {
 	case idq.Solved:
-		out.Reason = "solved"
 		if res.Sat {
+			// Do not report SAT on the strength of the solver alone: the
+			// emitted Skolem certificate is checked independently first. A
+			// certificate the checker rejects means the solver (or the
+			// memory under it) is broken, and the honest answer is Error,
+			// not a silent SAT.
+			if err := verifyCertificate(f, res.Certificate); err != nil {
+				return Outcome{
+					Verdict: VerdictError,
+					Engine:  EngineIDQ,
+					Reason:  "error",
+					Error:   fmt.Sprintf("skolem certificate rejected: %v", err),
+				}
+			}
 			out.Verdict = VerdictSat
 		} else {
 			out.Verdict = VerdictUnsat
 		}
+		out.Reason = "solved"
 	case idq.Timeout:
 		out.Reason = "timeout"
 	case idq.Memout:
@@ -189,25 +256,42 @@ func runIDQ(f *dqbf.Formula, b *budget.Budget) Outcome {
 	return out
 }
 
+// verifyCertificate checks a Skolem certificate against the formula (one
+// independent SAT call). A nil certificate passes — engines without
+// certificate support report bare verdicts.
+func verifyCertificate(f *dqbf.Formula, c *dqbf.Certificate) error {
+	if err := faults.Fire(faults.CertVerify); err != nil {
+		return err
+	}
+	if c == nil {
+		return nil
+	}
+	return c.Verify(f)
+}
+
 // runPortfolio races HQS and iDQ on child budgets of b. The first definitive
 // verdict wins and the loser is cancelled; if the parent budget stops first,
 // both children are cancelled. Different engines win on different instance
 // families (HQS on elimination-friendly prefixes, iDQ on refutable
 // instances), which is the point of keeping both live behind one interface.
+//
+// Each arm runs guarded in its own goroutine, so a panicking engine loses
+// the race instead of killing the process; the portfolio reports Error only
+// when no arm produced a verdict and at least one failed outright.
 func runPortfolio(f *dqbf.Formula, b *budget.Budget) Outcome {
 	b1, b2 := b.Child(), b.Child()
 	ch := make(chan Outcome, 2)
-	go func() { ch <- runHQS(f, b1) }()
-	go func() { ch <- runIDQ(f, b2) }()
+	go func() { ch <- runGuarded(f, EngineHQS, b1) }()
+	go func() { ch <- runGuarded(f, EngineIDQ, b2) }()
 
 	var winner *Outcome
-	var unknownReasons []string
+	var losers []Outcome
 	doneCh := b.Done()
 	for n := 0; n < 2; {
 		select {
 		case o := <-ch:
 			n++
-			if o.Verdict != VerdictUnknown {
+			if o.Verdict == VerdictSat || o.Verdict == VerdictUnsat {
 				if winner == nil {
 					o := o
 					winner = &o
@@ -217,7 +301,7 @@ func runPortfolio(f *dqbf.Formula, b *budget.Budget) Outcome {
 					b2.Cancel()
 				}
 			} else {
-				unknownReasons = append(unknownReasons, o.Reason)
+				losers = append(losers, o)
 			}
 		case <-doneCh:
 			doneCh = nil
@@ -230,20 +314,30 @@ func runPortfolio(f *dqbf.Formula, b *budget.Budget) Outcome {
 	if winner != nil {
 		return *winner
 	}
-	// Both engines came back empty-handed. If the parent budget stopped the
-	// race, report its reason; otherwise merge the children's reasons by a
-	// fixed priority so the report does not depend on arrival order.
+	// Both arms came back empty-handed. If the parent budget stopped the
+	// race, report its reason; otherwise merge the arms' outcomes by a fixed
+	// priority (resource exhaustion over failure over cancellation) so the
+	// report does not depend on arrival order.
 	out := Outcome{Verdict: VerdictUnknown, Engine: EnginePortfolio, Reason: "cancelled"}
 	if err := b.Err(); err != nil {
 		out.Reason = reasonFromErr(err)
 		return out
 	}
-	for _, want := range []string{"timeout", "memout", "budget", "cancelled"} {
-		for _, r := range unknownReasons {
-			if r == want {
+	for _, want := range []string{"timeout", "memout", "budget"} {
+		for _, o := range losers {
+			if o.Reason == want {
 				out.Reason = want
 				return out
 			}
+		}
+	}
+	for _, o := range losers {
+		if o.Verdict == VerdictError {
+			out.Verdict = VerdictError
+			out.Reason = "error"
+			out.Error = o.Error
+			out.PanicStack = o.PanicStack
+			return out
 		}
 	}
 	return out
