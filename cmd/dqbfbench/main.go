@@ -110,6 +110,8 @@ func main() {
 		fmt.Printf("\nHQS design-choice ablation (timeout %v):\n\n", *timeout)
 		rows := bench.RunAblation(instances, bench.AblationVariants(), *timeout, *nodeLim)
 		fmt.Print(bench.FormatAblation(rows, len(instances)))
+		fmt.Println()
+		fmt.Print(bench.FormatPassBreakdown(rows))
 		return
 	}
 

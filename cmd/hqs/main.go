@@ -11,7 +11,8 @@
 // -engine flag can redirect the solve to the iDQ baseline or a portfolio
 // racing both engines; -timeout is enforced through a cancellable budget,
 // so it interrupts a running SAT oracle rather than waiting for the next
-// loop iteration.
+// loop iteration. -trace prints one table row per executed pipeline pass to
+// stderr, and -trace-json streams the same events as JSON lines.
 package main
 
 import (
@@ -25,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dqbf"
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -39,6 +41,8 @@ func main() {
 		noSweep    = flag.Bool("no-sweep", false, "disable SAT sweeping")
 		workers    = flag.Int("workers", 1, "SAT-sweeping worker pool size (0 = one per CPU)")
 		stats      = flag.Bool("stats", false, "print solver statistics to stderr")
+		traceFlag  = flag.Bool("trace", false, "print a per-pass pipeline trace table to stderr")
+		traceJSON  = flag.String("trace-json", "", `stream per-pass trace events as JSON lines to a file ("-" = stdout)`)
 	)
 	flag.Parse()
 
@@ -64,17 +68,41 @@ func main() {
 
 	bud := budget.New(budget.Limits{Timeout: *timeout, Nodes: *nodeLimit})
 
+	// Assemble the trace sink: a bounded recorder backing the human table
+	// (-trace) and/or a JSONL stream (-trace-json). Both see the same events.
+	var rec *trace.Recorder
+	var sinks []trace.Sink
+	if *traceFlag {
+		rec = trace.NewRecorder(0)
+		sinks = append(sinks, rec)
+	}
+	if *traceJSON != "" {
+		w := os.Stdout
+		if *traceJSON != "-" {
+			tf, err := os.Create(*traceJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hqs:", err)
+				os.Exit(1)
+			}
+			defer tf.Close()
+			w = tf
+		}
+		sinks = append(sinks, trace.NewWriter(w))
+	}
+	sink := trace.Multi(sinks...)
+
 	if *engine != "hqs" {
 		eng, err := service.ParseEngine(*engine)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hqs:", err)
 			os.Exit(1)
 		}
-		runService(formula, eng, bud, *stats)
+		runService(formula, eng, bud, *stats, sink, rec)
 	}
 
 	opt := core.DefaultOptions()
 	opt.Budget = bud
+	opt.Trace = sink
 	opt.NodeLimit = *nodeLimit
 	opt.Preprocess = !*noPre
 	opt.DetectGates = !*noGates && !*noPre
@@ -104,6 +132,9 @@ func main() {
 	res := core.New(opt).Solve(formula)
 	elapsed := time.Since(start)
 
+	if rec != nil {
+		fmt.Fprint(os.Stderr, trace.FormatTable(rec.Events()))
+	}
 	if *stats {
 		st := res.Stats
 		fmt.Fprintf(os.Stderr, "c time            %v\n", elapsed)
@@ -139,13 +170,18 @@ func main() {
 }
 
 // runService decides the formula through internal/service (engines other
-// than the native hqs core) and exits with the solver exit codes.
-func runService(f *dqbf.Formula, eng service.Engine, bud *budget.Budget, stats bool) {
+// than the native hqs core) and exits with the solver exit codes. The HQS
+// arm of the selected engine emits pass events to sink; rec backs the
+// -trace table.
+func runService(f *dqbf.Formula, eng service.Engine, bud *budget.Budget, stats bool, sink trace.Sink, rec *trace.Recorder) {
 	start := time.Now()
-	out, err := service.Run(f, eng, bud)
+	out, err := service.RunTraced(f, eng, bud, sink)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hqs:", err)
 		os.Exit(1)
+	}
+	if rec != nil {
+		fmt.Fprint(os.Stderr, trace.FormatTable(rec.Events()))
 	}
 	if stats {
 		fmt.Fprintf(os.Stderr, "c time      %v\n", time.Since(start))

@@ -9,6 +9,7 @@
 //
 //	POST   /jobs?engine=portfolio&timeout=30s   body: DQDIMACS  -> 202 job snapshot | 429 queue full
 //	GET    /jobs/{id}                                           -> job snapshot
+//	GET    /jobs/{id}/trace                                     -> per-pass pipeline trace (see internal/trace)
 //	DELETE /jobs/{id}                                           -> cancel job
 //	POST   /solve?engine=hqs&timeout=10s        body: DQDIMACS  -> 200 finished job | 504 request timeout
 //	GET    /healthz                                             -> liveness: 200 ok | 503 shutting down
@@ -55,6 +56,7 @@ func main() {
 		reqTimeout   = flag.Duration("request-timeout", 0, "per-request bound on blocking /solve calls (0 = none)")
 		faultSpec    = flag.String("faults", "", "fault-injection plan for chaos drills, e.g. 'sat.solve:panic:p=0.1'")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for probabilistic fault rules")
+		traceEvents  = flag.Int("trace-events", 0, "per-job pass-trace retention in events (0 = default 1024, negative = disable)")
 	)
 	flag.Parse()
 
@@ -79,6 +81,7 @@ func main() {
 		DefaultEngine:  eng,
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
+		TraceEvents:    *traceEvents,
 	})
 	srv := newServer(sched)
 	srv.maxBody = *maxBody

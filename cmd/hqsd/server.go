@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/dqbf"
 	"repro/internal/service"
+	"repro/internal/trace"
 )
 
 // server routes HTTP requests onto a service.Scheduler.
@@ -38,6 +39,7 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /solve", s.handleSolve)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -195,6 +197,27 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job.Info())
+}
+
+// handleTrace returns the job's per-pass pipeline trace: one structured
+// event per executed pass across every engine attempt, retained with the
+// job's history entry. Events may still be arriving while the job runs;
+// dropped counts events beyond the configured retention bound.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.sched.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, service.ErrNoSuchJob)
+		return
+	}
+	events, dropped := job.Trace()
+	if events == nil {
+		events = []trace.Event{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":      job.ID(),
+		"dropped": dropped,
+		"events":  events,
+	})
 }
 
 func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,10 @@
 package aig
 
-import "repro/internal/cnf"
+import (
+	"sort"
+
+	"repro/internal/cnf"
+)
 
 // Compose substitutes functions for input variables: every input node whose
 // variable appears in subst is replaced by the given reference. The result is
@@ -63,9 +67,17 @@ func (g *Graph) Rename(r Ref, ren map[cnf.Var]cnf.Var) Ref {
 	if len(ren) == 0 {
 		return r
 	}
+	// Allocate target input nodes in sorted order, not ren's map order:
+	// Input may create fresh nodes, and node numbering must not depend on
+	// map iteration for runs to be reproducible.
+	froms := make([]cnf.Var, 0, len(ren))
+	for from := range ren {
+		froms = append(froms, from)
+	}
+	sort.Slice(froms, func(i, j int) bool { return froms[i] < froms[j] })
 	subst := make(map[cnf.Var]Ref, len(ren))
-	for from, to := range ren {
-		subst[from] = g.Input(to)
+	for _, from := range froms {
+		subst[from] = g.Input(ren[from])
 	}
 	return g.Compose(r, subst)
 }

@@ -70,6 +70,23 @@ type SweepStats struct {
 	Compactions int64 // arena garbage collections summed over the pool
 }
 
+// Counters flattens the stats into the generic counter map consumed by the
+// pipeline's structured trace events.
+func (s SweepStats) Counters() map[string]int64 {
+	c := map[string]int64{
+		"candidates": int64(s.Candidates),
+		"merged":     int64(s.Merged),
+		"satcalls":   int64(s.SatCalls),
+	}
+	if s.Skipped > 0 {
+		c["skipped"] = int64(s.Skipped)
+	}
+	if s.Panics > 0 {
+		c["panics"] = int64(s.Panics)
+	}
+	return c
+}
+
 // add accumulates the counters of one sweep into s (peak for ArenaBytes).
 func (s *SweepStats) Add(o SweepStats) {
 	s.Candidates += o.Candidates
@@ -171,6 +188,9 @@ func (g *Graph) Sweep(r Ref, opt SweepOptions) (Ref, SweepStats) {
 	for v := range support {
 		vars = append(vars, v)
 	}
+	// Sorted, so every input gets the same pseudo-random pattern stream on
+	// every run and sweeping is deterministic end to end.
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
 
 	if opt.SimWords <= 0 {
 		opt.SimWords = 8

@@ -2,10 +2,12 @@ package bench
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // AblationVariant is one HQS configuration under study.
@@ -43,18 +45,25 @@ type AblationRow struct {
 	Memouts      int
 	TotalSeconds float64 // over solved instances
 	PeakNodesSum int
+	// PassSeconds is the per-pass wall-time breakdown summed over every
+	// instance, keyed "stage/pass" ("hqs/thm1", "qbf/sweep", ...) — where a
+	// variant's time goes, not just how much of it.
+	PassSeconds map[string]float64
 }
 
 // RunAblation runs every variant over the instances sequentially (one
-// variant at a time, so timings are comparable).
+// variant at a time, so timings are comparable). Every solve runs with a
+// trace recorder so each row also carries its per-pass time breakdown.
 func RunAblation(instances []Instance, variants []AblationVariant, timeout time.Duration, nodeLimit int) []AblationRow {
 	var rows []AblationRow
 	for _, v := range variants {
-		row := AblationRow{Name: v.Name}
+		row := AblationRow{Name: v.Name, PassSeconds: make(map[string]float64)}
 		opt := v.Opt
 		opt.Timeout = timeout
 		opt.NodeLimit = nodeLimit
 		for _, inst := range instances {
+			rec := trace.NewRecorder(0)
+			opt.Trace = rec
 			start := time.Now()
 			res := core.New(opt).Solve(inst.Formula)
 			sec := time.Since(start).Seconds()
@@ -68,6 +77,9 @@ func RunAblation(instances []Instance, variants []AblationVariant, timeout time.
 				row.Memouts++
 			}
 			row.PeakNodesSum += res.Stats.PeakAIGNodes
+			for _, s := range trace.Summarize(rec.Events()) {
+				row.PassSeconds[s.Stage+"/"+s.Pass] += s.Wall.Seconds()
+			}
 		}
 		rows = append(rows, row)
 	}
@@ -83,6 +95,37 @@ func FormatAblation(rows []AblationRow, nInstances int) string {
 	for _, r := range rows {
 		fmt.Fprintf(&b, "%-18s %5d/%-3d %4d %4d %12.2f %12d\n",
 			r.Name, r.Solved, nInstances, r.Timeouts, r.Memouts, r.TotalSeconds, r.PeakNodesSum)
+	}
+	return b.String()
+}
+
+// FormatPassBreakdown renders each variant's per-pass wall-time breakdown
+// (descending by time, up to the top eight passes per variant).
+func FormatPassBreakdown(rows []AblationRow) string {
+	var b strings.Builder
+	b.WriteString("per-pass time breakdown [s]:\n")
+	for _, r := range rows {
+		if len(r.PassSeconds) == 0 {
+			continue
+		}
+		keys := make([]string, 0, len(r.PassSeconds))
+		for k := range r.PassSeconds {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if r.PassSeconds[keys[i]] != r.PassSeconds[keys[j]] {
+				return r.PassSeconds[keys[i]] > r.PassSeconds[keys[j]]
+			}
+			return keys[i] < keys[j]
+		})
+		if len(keys) > 8 {
+			keys = keys[:8]
+		}
+		fmt.Fprintf(&b, "  %-18s", r.Name)
+		for _, k := range keys {
+			fmt.Fprintf(&b, " %s=%.3f", k, r.PassSeconds[k])
+		}
+		b.WriteString("\n")
 	}
 	return b.String()
 }

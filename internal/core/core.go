@@ -3,22 +3,31 @@
 // equivalent QBF by eliminating a minimum set of universal variables, then
 // hands the linearized problem to an AIG-based QBF solver.
 //
-// The pipeline follows Fig. 3 of the paper:
+// The solver is assembled from named passes on the shared pass pipeline
+// (internal/pipeline), following Fig. 3 of the paper:
 //
-//  1. CNF preprocessing — unit propagation, DQBF universal reduction,
-//     equivalent-variable substitution, Tseitin gate detection (preprocess.go,
-//     gates.go).
-//  2. AIG construction from the preprocessed CNF, composing detected gate
-//     functions directly so their auxiliary variables never need explicit
-//     elimination (build.go).
-//  3. Selection of a minimum universal elimination set via partial MaxSAT
-//     over the binary dependency-set cycles (elimset.go; Equations 1 and 2),
-//     ordered by the number of existential copies each elimination costs.
-//  4. The main loop: syntactic unit/pure elimination on the AIG
-//     (Theorems 5/6), elimination of existentials depending on all universals
-//     (Theorem 2), and elimination of the selected universals (Theorem 1)
-//     until the dependency graph is acyclic, with periodic SAT sweeping.
-//  5. Linearization (Theorem 3) and the QBF back end (package qbf).
+//  1. "preprocess" — CNF-level unit propagation, DQBF universal reduction,
+//     equivalent-variable substitution, Tseitin gate detection
+//     (preprocess.go, gates.go).
+//  2. "build" — AIG construction from the preprocessed CNF, composing
+//     detected gate functions directly so their auxiliary variables never
+//     need explicit elimination (build.go).
+//  3. "elimset" — selection of a minimum universal elimination set via
+//     partial MaxSAT over the binary dependency-set cycles (elimset.go;
+//     Equations 1 and 2), ordered by the number of existential copies each
+//     elimination costs.
+//  4. The main loop: the shared "unitpure" pass (Theorems 5/6), "thm2"
+//     (elimination of existentials depending on all universals, Theorem 2),
+//     "thm1" (elimination of the selected universals, Theorem 1) until the
+//     dependency graph is acyclic, with the shared "sweep" pass compressing
+//     the AIG between eliminations.
+//  5. "qbf" — linearization (Theorem 3) and the QBF back end (package qbf),
+//     which runs its own pipeline of the same shared passes.
+//
+// Every pass execution is budget-polled, fault-injectable at
+// "pipeline.<pass>", and emits one structured trace event when
+// Options.Trace is set (see internal/trace). Solve itself is only pipeline
+// assembly plus result mapping.
 package core
 
 import (
@@ -30,8 +39,9 @@ import (
 	"repro/internal/budget"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
-	"repro/internal/maxsat"
+	"repro/internal/pipeline"
 	"repro/internal/qbf"
+	"repro/internal/trace"
 )
 
 // Status describes how a Solve attempt ended.
@@ -95,11 +105,14 @@ type Options struct {
 	// Timeout bounds wall-clock solving time; 0 means unlimited.
 	Timeout time.Duration
 	// Budget, when non-nil, makes the solve cancellable and budgeted: the
-	// main loop, the MaxSAT elimination-set selection, SAT sweeps, and the
-	// QBF back end (including its final SAT call) poll it and unwind with
-	// status Timeout (deadline) or Cancelled (cancel, conflict/decision
+	// pipeline runner, the MaxSAT elimination-set selection, SAT sweeps, and
+	// the QBF back end (including its final SAT call) poll it and unwind
+	// with status Timeout (deadline) or Cancelled (cancel, conflict/decision
 	// caps); its node cap tightens NodeLimit (status Memout).
 	Budget *budget.Budget
+	// Trace, when non-nil, receives one structured event per executed
+	// pipeline pass (this pipeline and the QBF back end's).
+	Trace trace.Sink
 }
 
 // DefaultOptions mirror the configuration evaluated in the paper.
@@ -116,7 +129,7 @@ func DefaultOptions() Options {
 }
 
 // Stats collects solver counters and the instrumentation the paper reports
-// (MaxSAT selection time, unit/pure check time).
+// (MaxSAT selection time, unit/pure elimination time).
 type Stats struct {
 	Preprocess   PreprocessResult
 	ElimSet      []cnf.Var
@@ -136,7 +149,7 @@ type Stats struct {
 
 	PeakAIGNodes int
 	QBF          qbf.Stats
-	DecidedBy    string // "preprocess", "constant", "qbf"
+	DecidedBy    string // "preprocess", "constant", "qbf", "finalsat"
 }
 
 // Result is the outcome of a Solve call.
@@ -161,7 +174,8 @@ var errTimeout = errors.New("core: timeout")
 // the budget's reason.
 type budgetStop struct{ err error }
 
-// Solve decides the DQBF. The input formula is not modified.
+// Solve decides the DQBF by assembling and running the standard HQS pass
+// pipeline. The input formula is not modified.
 func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 	start := time.Now()
 	defer func() { res.Stats.TotalTime = time.Since(start) }()
@@ -172,17 +186,10 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 			deadline = d
 		}
 	}
-	// checkStop unwinds via panic once the budget or deadline is exhausted;
-	// the recover below converts the sentinel into a Timeout/Cancelled/Memout
-	// status. Panicking keeps the elimination loop free of error plumbing.
-	checkStop := func() {
-		if err := s.Opt.Budget.Err(); err != nil {
-			panic(budgetStop{err})
-		}
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			panic(errTimeout)
-		}
-	}
+	// Passes unwind via panic on resource exhaustion (aig.ErrNodeLimit) and
+	// via stop errors otherwise; run below converts stop errors into the
+	// sentinels this recover maps onto statuses. Panicking keeps the
+	// assembly free of error plumbing.
 	defer func() {
 		switch r := recover().(type) {
 		case nil:
@@ -206,186 +213,110 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 	}()
 
 	work := f.Clone()
+	st := &pipeline.State{
+		Prefix:   pipeline.FormulaPrefix{F: work},
+		Budget:   s.Opt.Budget,
+		Deadline: deadline,
+		Workers:  s.Opt.Workers,
+	}
+	r := pipeline.NewRunner(st, s.Opt.Trace, "hqs")
+	px := &hqsPipeline{
+		s:        s,
+		st:       st,
+		work:     work,
+		res:      &res,
+		deadline: deadline,
+		sweep:    pipeline.NewSweepPass(s.Opt.SweepThreshold, s.Opt.SweepOptions),
+	}
+	// Fold the pipeline's per-pass totals into the stats the paper reports;
+	// deferred so budget-stopped solves report partial counters too.
+	defer func() {
+		up := r.Total("unitpure")
+		res.Stats.UnitPureTime = up.Wall
+		res.Stats.UnitElims = int(up.Counters["units"])
+		res.Stats.PureElims = int(up.Counters["pures"])
+		res.Stats.ElimSetTime = r.Total("elimset").Wall
+		n, sst := px.sweep.Stats()
+		res.Stats.Sweeps = n
+		res.Stats.Sweep = sst
+	}()
 
-	// Step 1: preprocessing.
+	// run executes one pass, converting pipeline stop errors into the
+	// unwind sentinels; unexpected pass failures are solver bugs (or
+	// injected faults) and escalate to a panic the service layer contains.
+	run := func(p pipeline.Pass) {
+		if _, err := r.Run(p); err != nil {
+			switch {
+			case errors.Is(err, pipeline.ErrTimeout):
+				panic(errTimeout)
+			case errors.Is(err, pipeline.ErrCancelled):
+				panic(budgetStop{err: s.Opt.Budget.Err()})
+			default:
+				panic(fmt.Sprintf("core: %v", err))
+			}
+		}
+	}
+	decided := func() bool {
+		if st.Decided {
+			return true
+		}
+		if st.G != nil && st.Matrix.IsConst() {
+			st.Decide(st.Matrix == aig.True, "constant")
+			return true
+		}
+		return false
+	}
+	finish := func() Result {
+		res.Status = Solved
+		res.Sat = st.Sat
+		res.Stats.DecidedBy = st.DecidedBy
+		return res
+	}
+
+	// Standard HQS pipeline assembly (paper Fig. 3).
 	if s.Opt.Preprocess {
-		pr, err := Preprocess(work, s.Opt.DetectGates)
-		res.Stats.Preprocess = pr
-		if err != nil {
-			panic(fmt.Sprintf("core: %v", err))
-		}
-		if pr.Decided {
-			res.Status = Solved
-			res.Sat = pr.Value
-			res.Stats.DecidedBy = "preprocess"
-			return res
+		run(px.preprocess())
+		if st.Decided {
+			return finish()
 		}
 	}
+	run(px.build())
+	run(px.elimset())
 
-	// Step 2: AIG construction.
-	g := aig.New()
-	g.NodeLimit = s.Opt.NodeLimit
-	if nc := s.Opt.Budget.NodeCap(); nc > 0 && (g.NodeLimit == 0 || nc < g.NodeLimit) {
-		g.NodeLimit = nc
-	}
-	m := BuildMatrix(g, work.Matrix, res.Stats.Preprocess.Gates)
-	track := func() {
-		if n := g.NumNodes(); n > res.Stats.PeakAIGNodes {
-			res.Stats.PeakAIGNodes = n
-		}
-	}
-	track()
-
-	// Step 3: elimination-set selection.
-	selStart := time.Now()
-	elim, err := SelectEliminationSetBudget(work, s.Opt.Strategy, s.Opt.Budget)
-	if err != nil {
-		if errors.Is(err, maxsat.ErrBudget) {
-			panic(budgetStop{err})
-		}
-		panic(fmt.Sprintf("core: %v", err))
-	}
-	elim = OrderByCopyCost(work, elim)
-	if s.Opt.ReverseElimOrder {
-		for i, j := 0, len(elim)-1; i < j; i, j = i+1, j-1 {
-			elim[i], elim[j] = elim[j], elim[i]
-		}
-	}
-	res.Stats.ElimSetTime = time.Since(selStart)
-	res.Stats.ElimSet = elim
-
-	nextVar := cnf.Var(work.Matrix.NumVars + 1)
-	lastSweepSize := g.ConeSize(m)
-
-	// Step 4: main loop.
+	unitPure := pipeline.UnitPurePass{}
+	drop := pipeline.DropSupportPass{}
+	thm2, thm1 := px.thm2(), px.thm1()
 	for {
-		checkStop()
-		if m.IsConst() {
-			res.Status = Solved
-			res.Sat = m == aig.True
-			res.Stats.DecidedBy = "constant"
-			return res
+		if decided() {
+			return finish()
 		}
 		if s.Opt.UnitPure {
-			var done bool
-			m, done = s.applyUnitPure(g, work, m, &res.Stats, checkStop)
-			if done {
-				res.Status = Solved
-				res.Sat = m == aig.True
-				res.Stats.DecidedBy = "constant"
-				return res
+			run(unitPure)
+			if decided() {
+				return finish()
 			}
 		}
-		s.dropNonSupport(g, work, m)
-
-		// Theorem 2: eliminate existentials depending on all universals.
-		univSet := work.UniversalSet()
-		for _, y := range append([]cnf.Var(nil), work.Exist...) {
-			if !work.Deps[y].Equal(univSet) {
-				continue
-			}
-			checkStop()
-			m = g.Exists(m, y)
-			removeVarFromPrefix(work, y)
-			res.Stats.ExistElims++
-			track()
-			if m.IsConst() {
-				res.Status = Solved
-				res.Sat = m == aig.True
-				res.Stats.DecidedBy = "constant"
-				return res
-			}
+		run(drop)
+		run(thm2)
+		if decided() {
+			return finish()
 		}
-
 		if !dqbf.IsCyclic(work) {
 			break
 		}
-
-		// Theorem 1: eliminate the next selected universal variable.
-		x := cnf.Var(0)
-		for len(elim) > 0 {
-			cand := elim[0]
-			elim = elim[1:]
-			if work.IsUniversal(cand) {
-				x = cand
-				break
-			}
+		run(thm1)
+		if px.elimExhausted {
+			break
 		}
-		if x == 0 {
-			// The precomputed set is exhausted but cycles remain (possible
-			// only if unit/pure removed selected variables in a way that
-			// left other cycles): recompute.
-			more, err := SelectEliminationSetBudget(work, s.Opt.Strategy, s.Opt.Budget)
-			if err != nil {
-				if errors.Is(err, maxsat.ErrBudget) {
-					panic(budgetStop{err})
-				}
-				panic(fmt.Sprintf("core: %v", err))
-			}
-			elim = OrderByCopyCost(work, more)
-			if len(elim) == 0 {
-				break
-			}
-			continue
-		}
-		m = s.eliminateUniversal(g, work, m, x, &nextVar, &res.Stats)
-		track()
-
-		if s.Opt.SweepThreshold > 0 {
-			if size := g.ConeSize(m); size > lastSweepSize+s.Opt.SweepThreshold {
-				so := s.Opt.SweepOptions
-				so.Deadline = deadline
-				so.Budget = s.Opt.Budget
-				if s.Opt.Workers != 0 {
-					so.Workers = s.Opt.Workers
-				}
-				var sst aig.SweepStats
-				m, sst = g.Sweep(m, so)
-				res.Stats.Sweep.Add(sst)
-				res.Stats.Sweeps++
-				lastSweepSize = g.ConeSize(m)
-			}
-		}
+		run(px.sweep)
 	}
 
-	// Step 5: linearize and run the QBF back end.
-	if m.IsConst() {
-		res.Status = Solved
-		res.Sat = m == aig.True
-		res.Stats.DecidedBy = "constant"
-		return res
+	if decided() {
+		return finish()
 	}
-	s.dropNonSupport(g, work, m)
-	blocks := dqbf.Linearize(work)
-	qopt := s.Opt.QBF
-	qopt.Deadline = deadline
-	qopt.Budget = s.Opt.Budget
-	if s.Opt.Workers != 0 {
-		qopt.SweepOptions.Workers = s.Opt.Workers
-	}
-	qs := qbf.New(g, qopt)
-	sat, err := qs.Solve(blocks, m)
-	res.Stats.QBF = qs.Stat
-	track()
-	if err != nil {
-		if _, ok := err.(aig.ErrNodeLimit); ok {
-			res.Status = Memout
-			return res
-		}
-		if errors.Is(err, qbf.ErrTimeout) {
-			res.Status = Timeout
-			return res
-		}
-		if errors.Is(err, qbf.ErrCancelled) {
-			res.Status = Cancelled
-			return res
-		}
-		panic(fmt.Sprintf("core: qbf back end: %v", err))
-	}
-	res.Status = Solved
-	res.Sat = sat
-	res.Stats.DecidedBy = "qbf"
-	return res
+	run(drop)
+	run(px.qbf())
+	return finish()
 }
 
 // eliminateUniversal applies Theorem 1 to universal variable x:
@@ -406,8 +337,16 @@ func (s *Solver) eliminateUniversal(g *aig.Graph, work *dqbf.Formula, m aig.Ref,
 	cof1 = g.Rename(cof1, ren)
 
 	// Prefix update: drop x; D_y loses x; copies y' join with the same set.
-	removeVarFromPrefix(work, x)
-	for y, yc := range ren {
+	// Copies are appended in prefix order (not ren's map order) so the
+	// resulting prefix — and with it the downstream pass schedule — is
+	// deterministic, which the golden-trace tests pin.
+	orig := append([]cnf.Var(nil), work.Exist...)
+	pipeline.FormulaPrefix{F: work}.Remove(x)
+	for _, y := range orig {
+		yc, ok := ren[y]
+		if !ok {
+			continue
+		}
 		work.Exist = append(work.Exist, yc)
 		work.Deps[yc] = work.Deps[y].Clone()
 		if int(yc) > work.Matrix.NumVars {
@@ -417,102 +356,4 @@ func (s *Solver) eliminateUniversal(g *aig.Graph, work *dqbf.Formula, m aig.Ref,
 	st.UnivElims++
 	st.CopiesMade += len(ren)
 	return g.And(cof0, cof1)
-}
-
-// applyUnitPure eliminates unit and pure variables (Theorems 5/6) until a
-// fixpoint. The second return value is true when the matrix became constant.
-// checkStop is polled between fixpoint rounds and unwinds on budget stop.
-func (s *Solver) applyUnitPure(g *aig.Graph, work *dqbf.Formula, m aig.Ref, st *Stats, checkStop func()) (aig.Ref, bool) {
-	for {
-		checkStop()
-		changed := false
-		upStart := time.Now()
-		up := g.UnitPure(m)
-		st.UnitPureTime += time.Since(upStart)
-		for v, p := range up {
-			exist := work.IsExistential(v)
-			univ := work.IsUniversal(v)
-			if !exist && !univ {
-				continue // gate-defined or already removed
-			}
-			switch {
-			case exist && p.PosUnit:
-				m = g.Cofactor(m, v, true)
-				st.UnitElims++
-			case exist && p.NegUnit:
-				m = g.Cofactor(m, v, false)
-				st.UnitElims++
-			case univ && (p.PosUnit || p.NegUnit):
-				return aig.False, true
-			case exist && p.PosPure:
-				m = g.Cofactor(m, v, true)
-				st.PureElims++
-			case exist && p.NegPure:
-				m = g.Cofactor(m, v, false)
-				st.PureElims++
-			case univ && p.PosPure:
-				m = g.Cofactor(m, v, false)
-				st.PureElims++
-			case univ && p.NegPure:
-				m = g.Cofactor(m, v, true)
-				st.PureElims++
-			default:
-				continue
-			}
-			removeVarFromPrefix(work, v)
-			changed = true
-			if m.IsConst() {
-				return m, true
-			}
-			break // recompute unit/pure flags on the new matrix
-		}
-		if !changed {
-			return m, false
-		}
-	}
-}
-
-// dropNonSupport removes prefix variables that the matrix no longer depends
-// on. Universal variables simply leave the dependency sets as well.
-func (s *Solver) dropNonSupport(g *aig.Graph, work *dqbf.Formula, m aig.Ref) {
-	support := g.Support(m)
-	var exist []cnf.Var
-	for _, y := range work.Exist {
-		if support[y] {
-			exist = append(exist, y)
-		} else {
-			delete(work.Deps, y)
-		}
-	}
-	work.Exist = exist
-	var univ []cnf.Var
-	for _, x := range work.Univ {
-		if support[x] {
-			univ = append(univ, x)
-			continue
-		}
-		for _, d := range work.Deps {
-			d.Remove(x)
-		}
-	}
-	work.Univ = univ
-}
-
-func removeVarFromPrefix(f *dqbf.Formula, v cnf.Var) {
-	for i, u := range f.Univ {
-		if u == v {
-			f.Univ = append(f.Univ[:i], f.Univ[i+1:]...)
-			for _, d := range f.Deps {
-				d.Remove(v)
-			}
-			return
-		}
-	}
-	for i, y := range f.Exist {
-		if y == v {
-			f.Exist = append(f.Exist[:i], f.Exist[i+1:]...)
-			delete(f.Deps, v)
-			return
-		}
-	}
 }

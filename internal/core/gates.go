@@ -167,7 +167,25 @@ func (p *preprocessor) detectGates() {
 		}
 		ternary[triple{vs[0], vs[1], vs[2]}] = append(ternary[triple{vs[0], vs[1], vs[2]}], i)
 	}
-	for vs, idxs := range ternary {
+	// Iterate triples in sorted order, not map order: detection consumes
+	// clauses and marks outputs defined, so which overlapping candidate wins
+	// — and the order gates are composed into the AIG — must be reproducible.
+	triples := make([]triple, 0, len(ternary))
+	for vs := range ternary {
+		triples = append(triples, vs)
+	}
+	sort.Slice(triples, func(i, j int) bool {
+		a, b := triples[i], triples[j]
+		if a[0] != b[0] {
+			return a[0] < b[0]
+		}
+		if a[1] != b[1] {
+			return a[1] < b[1]
+		}
+		return a[2] < b[2]
+	})
+	for _, vs := range triples {
+		idxs := ternary[vs]
 		if len(idxs) < 4 {
 			continue
 		}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/aig"
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+	"repro/internal/maxsat"
+	"repro/internal/pipeline"
+	"repro/internal/qbf"
+)
+
+// The HQS-specific pass names, registered at init so fault-spec validation
+// (hqsd -faults pipeline.thm1:...) accepts them before any solve runs. The
+// shared passes (unitpure, dropsupport, sweep) are registered by the
+// pipeline package, "blockelim" and "finalsat" by the qbf package.
+func init() {
+	for _, name := range []string{"preprocess", "build", "elimset", "thm2", "thm1", "qbf"} {
+		pipeline.RegisterPass(name)
+	}
+}
+
+// hqsPipeline holds the driver-side context the HQS passes close over: the
+// solver options, the shared pipeline state, the working formula behind the
+// state's prefix, the elimination-set queue, and the fresh-variable counter
+// for Theorem-1 copies.
+type hqsPipeline struct {
+	s        *Solver
+	st       *pipeline.State
+	work     *dqbf.Formula
+	res      *Result
+	deadline time.Time
+	sweep    *pipeline.SweepPass
+
+	elim    []cnf.Var
+	nextVar cnf.Var
+	// elimExhausted is set by the thm1 pass when the dependency graph is
+	// still cyclic but no further universal can be selected; the driver then
+	// leaves the main loop for the QBF back end.
+	elimExhausted bool
+}
+
+// track records the AIG high-water mark at the same points the monolithic
+// loop did: after the build, after each elimination, and after the back end.
+func (px *hqsPipeline) track() {
+	if px.st.G == nil {
+		return
+	}
+	if n := px.st.G.NumNodes(); n > px.res.Stats.PeakAIGNodes {
+		px.res.Stats.PeakAIGNodes = n
+	}
+}
+
+// selectElim runs the elimination-set selection, mapping a budget stop onto
+// the pipeline's cancellation error (the driver refines it via the budget).
+func (px *hqsPipeline) selectElim() ([]cnf.Var, error) {
+	elim, err := SelectEliminationSetBudget(px.work, px.s.Opt.Strategy, px.s.Opt.Budget)
+	if err != nil {
+		if errors.Is(err, maxsat.ErrBudget) {
+			return nil, pipeline.ErrCancelled
+		}
+		return nil, fmt.Errorf("elimination-set selection: %w", err)
+	}
+	return OrderByCopyCost(px.work, elim), nil
+}
+
+// preprocess is step 1 (CNF-level preprocessing and gate detection).
+func (px *hqsPipeline) preprocess() pipeline.Pass {
+	return pipeline.NewPass("preprocess", func(st *pipeline.State) (pipeline.Result, error) {
+		pr, err := Preprocess(px.work, px.s.Opt.DetectGates)
+		px.res.Stats.Preprocess = pr
+		if err != nil {
+			return pipeline.Result{}, err
+		}
+		if pr.Decided {
+			st.Decide(pr.Value, "preprocess")
+		}
+		c := pipeline.Counters{
+			"units":    int64(pr.Units),
+			"univred":  int64(pr.UnivReductions),
+			"equiv":    int64(pr.Equivalences),
+			"subsumed": int64(pr.Subsumed),
+			"strength": int64(pr.Strengthened),
+			"gates":    int64(len(pr.Gates)),
+		}
+		return pipeline.Result{Changed: true, Counters: c}, nil
+	})
+}
+
+// build is step 2: AIG construction from the preprocessed CNF, composing
+// detected gate functions directly.
+func (px *hqsPipeline) build() pipeline.Pass {
+	return pipeline.NewPass("build", func(st *pipeline.State) (pipeline.Result, error) {
+		g := aig.New()
+		g.NodeLimit = px.s.Opt.NodeLimit
+		if nc := px.s.Opt.Budget.NodeCap(); nc > 0 && (g.NodeLimit == 0 || nc < g.NodeLimit) {
+			g.NodeLimit = nc
+		}
+		st.G = g
+		st.Matrix = BuildMatrix(g, px.work.Matrix, px.res.Stats.Preprocess.Gates)
+		px.sweep.Reset(g.ConeSize(st.Matrix))
+		px.track()
+		return pipeline.Result{Changed: true, Counters: pipeline.Counters{"nodes": int64(g.NumNodes())}}, nil
+	})
+}
+
+// elimset is step 3: minimum universal elimination-set selection (MaxSAT
+// over the binary dependency-set cycles) ordered by copy cost.
+func (px *hqsPipeline) elimset() pipeline.Pass {
+	return pipeline.NewPass("elimset", func(st *pipeline.State) (pipeline.Result, error) {
+		elim, err := px.selectElim()
+		if err != nil {
+			return pipeline.Result{}, err
+		}
+		if px.s.Opt.ReverseElimOrder {
+			for i, j := 0, len(elim)-1; i < j; i, j = i+1, j-1 {
+				elim[i], elim[j] = elim[j], elim[i]
+			}
+		}
+		px.elim = elim
+		px.res.Stats.ElimSet = elim
+		px.nextVar = cnf.Var(px.work.Matrix.NumVars + 1)
+		return pipeline.Result{
+			Changed:  len(elim) > 0,
+			Counters: pipeline.Counters{"selected": int64(len(elim))},
+		}, nil
+	})
+}
+
+// thm2 eliminates every existential variable whose dependency set equals the
+// current universal set (Theorem 2).
+func (px *hqsPipeline) thm2() pipeline.Pass {
+	return pipeline.NewPass("thm2", func(st *pipeline.State) (pipeline.Result, error) {
+		var res pipeline.Result
+		univSet := px.work.UniversalSet()
+		for _, y := range append([]cnf.Var(nil), px.work.Exist...) {
+			if !px.work.Deps[y].Equal(univSet) {
+				continue
+			}
+			if err := st.Stop(); err != nil {
+				return res, err
+			}
+			st.Matrix = st.G.Exists(st.Matrix, y)
+			st.Prefix.Remove(y)
+			px.res.Stats.ExistElims++
+			res.Changed = true
+			res.Counters = res.Counters.Add(pipeline.Counters{"exist": 1})
+			px.track()
+			if st.Matrix.IsConst() {
+				return res, nil
+			}
+		}
+		return res, nil
+	})
+}
+
+// thm1 eliminates the next selected universal variable (Theorem 1),
+// recomputing the elimination set when the precomputed one is exhausted but
+// cycles remain (possible when unit/pure removed selected variables in a way
+// that left other cycles). elimExhausted signals the driver that no further
+// universal can be selected.
+func (px *hqsPipeline) thm1() pipeline.Pass {
+	return pipeline.NewPass("thm1", func(st *pipeline.State) (pipeline.Result, error) {
+		x := cnf.Var(0)
+		for x == 0 {
+			for len(px.elim) > 0 {
+				cand := px.elim[0]
+				px.elim = px.elim[1:]
+				if px.work.IsUniversal(cand) {
+					x = cand
+					break
+				}
+			}
+			if x != 0 {
+				break
+			}
+			more, err := px.selectElim()
+			if err != nil {
+				return pipeline.Result{}, err
+			}
+			if len(more) == 0 {
+				px.elimExhausted = true
+				return pipeline.Result{}, nil
+			}
+			px.elim = more
+		}
+		copiesBefore := px.res.Stats.CopiesMade
+		st.Matrix = px.s.eliminateUniversal(st.G, px.work, st.Matrix, x, &px.nextVar, &px.res.Stats)
+		px.track()
+		return pipeline.Result{
+			Changed: true,
+			Counters: pipeline.Counters{
+				"univ":   1,
+				"copies": int64(px.res.Stats.CopiesMade - copiesBefore),
+			},
+		}, nil
+	})
+}
+
+// qbfPass is step 5: linearization (Theorem 3) and the block-elimination QBF
+// back end, which runs its own pipeline of the shared passes on the same
+// trace sink.
+func (px *hqsPipeline) qbf() pipeline.Pass {
+	return pipeline.NewPass("qbf", func(st *pipeline.State) (pipeline.Result, error) {
+		blocks := dqbf.Linearize(px.work)
+		qopt := px.s.Opt.QBF
+		qopt.Deadline = px.deadline
+		qopt.Budget = px.s.Opt.Budget
+		qopt.Trace = px.s.Opt.Trace
+		if px.s.Opt.Workers != 0 {
+			qopt.SweepOptions.Workers = px.s.Opt.Workers
+		}
+		qs := qbf.New(st.G, qopt)
+		sat, err := qs.Solve(blocks, st.Matrix)
+		px.res.Stats.QBF = qs.Stat
+		px.track()
+		if err != nil {
+			if nl, ok := err.(aig.ErrNodeLimit); ok {
+				panic(nl) // unwinds to the driver's recover → Memout
+			}
+			if errors.Is(err, qbf.ErrTimeout) {
+				return pipeline.Result{}, pipeline.ErrTimeout
+			}
+			if errors.Is(err, qbf.ErrCancelled) {
+				return pipeline.Result{}, pipeline.ErrCancelled
+			}
+			return pipeline.Result{}, fmt.Errorf("qbf back end: %w", err)
+		}
+		st.Decide(sat, "qbf")
+		return pipeline.Result{Changed: true, Counters: pipeline.Counters{"blocks": int64(len(blocks))}}, nil
+	})
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
@@ -316,7 +317,21 @@ func (p *preprocessor) substituteEquivalences() (bool, error) {
 		}
 		return pair{a, b}
 	}
+	// Iterate pairs in sorted order, not map order: only the first match is
+	// substituted per round, so the cascade of substitutions — and with it
+	// the resulting CNF and every downstream pass — must not depend on map
+	// iteration.
+	pairs := make([]pair, 0, len(seen))
 	for pr := range seen {
+		pairs = append(pairs, pr)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i][0] != pairs[j][0] {
+			return pairs[i][0] < pairs[j][0]
+		}
+		return pairs[i][1] < pairs[j][1]
+	})
+	for _, pr := range pairs {
 		a, b := pr[0], pr[1]
 		// (a ∨ b) together with (¬a ∨ ¬b) gives a ≡ ¬b.
 		if !seen[canon(a.Not(), b.Not())] {

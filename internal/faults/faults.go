@@ -19,6 +19,7 @@ package faults
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -52,10 +53,47 @@ const (
 	CertVerify Point = "service.certify"
 )
 
-// Points lists every defined injection point, for validation and docs.
+// builtinPoints are the statically defined injection points.
+var builtinPoints = []Point{SATSolve, AIGSweep, AIGFinalSAT, MaxSATSolve,
+	QBFEliminate, SchedDispatch, CacheLookup, CertVerify}
+
+// registry holds dynamically registered points (pipeline passes register
+// one "pipeline.<pass>" point each at init time).
+var registry struct {
+	mu     sync.Mutex
+	points []Point
+	seen   map[Point]bool
+}
+
+// Register adds a dynamic injection point (idempotent). Subsystems that
+// instrument new seams at init time — pipeline passes in particular —
+// register them here so spec validation and the chaos harness see them.
+func Register(pt Point) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	if registry.seen == nil {
+		registry.seen = make(map[Point]bool)
+	}
+	for _, b := range builtinPoints {
+		if b == pt {
+			return
+		}
+	}
+	if registry.seen[pt] {
+		return
+	}
+	registry.seen[pt] = true
+	registry.points = append(registry.points, pt)
+}
+
+// Points lists every defined injection point — builtin and registered — for
+// validation and docs. Registered points are sorted for stable output.
 func Points() []Point {
-	return []Point{SATSolve, AIGSweep, AIGFinalSAT, MaxSATSolve, QBFEliminate,
-		SchedDispatch, CacheLookup, CertVerify}
+	registry.mu.Lock()
+	reg := append([]Point(nil), registry.points...)
+	registry.mu.Unlock()
+	sort.Slice(reg, func(i, j int) bool { return reg[i] < reg[j] })
+	return append(append([]Point(nil), builtinPoints...), reg...)
 }
 
 // ErrInjected is the base error of every injected failure; injected errors

@@ -1,0 +1,265 @@
+// Package pipeline is the pass-manager framework of the elimination stack.
+// HQS is a sequence of named transformations — preprocessing, gate
+// detection, matrix construction, elimination-set selection, then an
+// interleaved loop of unit/pure elimination, Theorem-2 and Theorem-1
+// eliminations and FRAIG sweeping, finishing with block-wise QBF
+// elimination — and this package makes that sequence first-class: a Pass is
+// one named transformation over a shared State (the DQBF prefix, the AIG,
+// the matrix reference, and the budget), and a Runner executes passes,
+// polling the budget between them, firing a per-pass fault-injection point
+// ("pipeline.<pass>"), and emitting one structured trace.Event per pass
+// execution.
+//
+// The framework exists so alternative preprocessing or elimination
+// techniques (definition extraction, partial elimination with learning, …)
+// drop into the solver as passes instead of being hand-woven into another
+// copy of the main loop, and so each solve is observable per stage rather
+// than as one opaque wall time.
+package pipeline
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/aig"
+	"repro/internal/budget"
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+	"repro/internal/faults"
+)
+
+// Stop errors returned by Runner.Run and State.Stop when the budget ends a
+// solve between or inside passes.
+var (
+	// ErrTimeout means the deadline (the state's or the budget's) passed.
+	ErrTimeout = errors.New("pipeline: deadline exceeded")
+	// ErrCancelled means the budget was cancelled or a cap was exhausted —
+	// including an injected spurious Unknown from a pipeline fault point.
+	ErrCancelled = errors.New("pipeline: cancelled")
+)
+
+// Prefix is the quantifier-prefix view passes share. The HQS pipeline backs
+// it with a dqbf.Formula (FormulaPrefix); the QBF back end backs it with its
+// linear block list. Through this interface one unit/pure or support pass
+// serves both pipelines.
+type Prefix interface {
+	// IsExistential and IsUniversal report the quantifier of v; both false
+	// means v is not quantified here (gate-defined or already removed).
+	IsExistential(v cnf.Var) bool
+	IsUniversal(v cnf.Var) bool
+	// Remove deletes v from the prefix (and any dependency bookkeeping).
+	Remove(v cnf.Var)
+	// RetainSupport drops every prefix variable not in support, returning
+	// how many were removed.
+	RetainSupport(support map[cnf.Var]bool) int
+	// Size returns the current universal and existential variable counts.
+	Size() (univ, exist int)
+}
+
+// State is the shared mutable state a pipeline threads through its passes.
+type State struct {
+	// G is the AIG the matrix lives in (nil until a build pass creates it).
+	G *aig.Graph
+	// Matrix is the current matrix reference in G.
+	Matrix aig.Ref
+	// Prefix is the quantifier prefix being eliminated.
+	Prefix Prefix
+	// Budget, when non-nil, makes the pipeline cancellable; the Runner polls
+	// it before each pass and long passes poll Stop between rounds.
+	Budget *budget.Budget
+	// Deadline, when nonzero, bounds wall-clock time independently of the
+	// budget.
+	Deadline time.Time
+	// Workers overrides SAT worker-pool sizes of sweeping passes (0 keeps
+	// the pass default).
+	Workers int
+
+	// Decided, Sat and DecidedBy carry the verdict once a pass settles the
+	// formula.
+	Decided   bool
+	Sat       bool
+	DecidedBy string
+}
+
+// Decide records a verdict on the state.
+func (st *State) Decide(sat bool, by string) {
+	st.Decided = true
+	st.Sat = sat
+	st.DecidedBy = by
+}
+
+// Stop reports whether the pipeline must unwind: ErrTimeout past the
+// deadline (the state's or the budget's), ErrCancelled on budget
+// cancellation or cap exhaustion, nil to keep going. Long-running passes
+// poll it between fixpoint rounds.
+func (st *State) Stop() error {
+	if err := st.Budget.Err(); err != nil {
+		if errors.Is(err, budget.ErrDeadline) {
+			return ErrTimeout
+		}
+		return ErrCancelled
+	}
+	if !st.Deadline.IsZero() && time.Now().After(st.Deadline) {
+		return ErrTimeout
+	}
+	return nil
+}
+
+// Counters are the pass-specific counters of one pass execution, reported
+// into the trace event and aggregated by the Runner.
+type Counters map[string]int64
+
+// Add folds o into c, allocating c if needed, and returns it.
+func (c Counters) Add(o Counters) Counters {
+	if len(o) == 0 {
+		return c
+	}
+	if c == nil {
+		c = make(Counters, len(o))
+	}
+	for k, v := range o {
+		c[k] += v
+	}
+	return c
+}
+
+// Result reports what one pass execution did.
+type Result struct {
+	// Changed is true when the pass modified the state (used by fixpoint
+	// groups to decide convergence).
+	Changed bool
+	// Counters are the pass-specific counters of this execution.
+	Counters Counters
+}
+
+// Pass is one named transformation over the shared state. Run returns the
+// mutation summary and an error only for stop conditions (ErrTimeout /
+// ErrCancelled) or hard failures; out-of-memory unwinds via the graph's
+// aig.ErrNodeLimit panic exactly as in the monolithic loops.
+type Pass interface {
+	Name() string
+	Run(st *State) (Result, error)
+}
+
+// funcPass adapts a function to a Pass.
+type funcPass struct {
+	name string
+	fn   func(*State) (Result, error)
+}
+
+func (p funcPass) Name() string                  { return p.name }
+func (p funcPass) Run(st *State) (Result, error) { return p.fn(st) }
+
+// NewPass wraps fn as a Pass with the given registered name. The name must
+// have been registered (RegisterPass) so its fault point exists; NewPass
+// registers it defensively for names only ever constructed at run time.
+func NewPass(name string, fn func(*State) (Result, error)) Pass {
+	RegisterPass(name)
+	return funcPass{name: name, fn: fn}
+}
+
+// passRegistry lists every known pass name; each registration also creates
+// the pass's fault-injection point so chaos specs can target it.
+var passRegistry struct {
+	mu    sync.Mutex
+	names []string
+	seen  map[string]bool
+}
+
+// RegisterPass registers a pass name (idempotent) and its
+// "pipeline.<name>" fault point, returning the point. Packages contributing
+// passes register their names at init time so flag-time fault-spec
+// validation (hqsd -faults) accepts them before any solve runs.
+func RegisterPass(name string) faults.Point {
+	pt := FaultPoint(name)
+	passRegistry.mu.Lock()
+	defer passRegistry.mu.Unlock()
+	if passRegistry.seen == nil {
+		passRegistry.seen = make(map[string]bool)
+	}
+	if !passRegistry.seen[name] {
+		passRegistry.seen[name] = true
+		passRegistry.names = append(passRegistry.names, name)
+		faults.Register(pt)
+	}
+	return pt
+}
+
+// PassNames returns every registered pass name, sorted.
+func PassNames() []string {
+	passRegistry.mu.Lock()
+	defer passRegistry.mu.Unlock()
+	out := append([]string(nil), passRegistry.names...)
+	sort.Strings(out)
+	return out
+}
+
+// FaultPoint returns the fault-injection point of a pass name.
+func FaultPoint(name string) faults.Point { return faults.Point("pipeline." + name) }
+
+// FormulaPrefix adapts a dqbf.Formula to the Prefix interface (the HQS
+// pipeline's view; the QBF back end adapts its block list instead).
+type FormulaPrefix struct{ F *dqbf.Formula }
+
+// IsExistential implements Prefix.
+func (p FormulaPrefix) IsExistential(v cnf.Var) bool { return p.F.IsExistential(v) }
+
+// IsUniversal implements Prefix.
+func (p FormulaPrefix) IsUniversal(v cnf.Var) bool { return p.F.IsUniversal(v) }
+
+// Size implements Prefix.
+func (p FormulaPrefix) Size() (int, int) { return len(p.F.Univ), len(p.F.Exist) }
+
+// Remove implements Prefix: a universal leaves every dependency set, an
+// existential leaves the prefix with its dependency set.
+func (p FormulaPrefix) Remove(v cnf.Var) {
+	f := p.F
+	for i, u := range f.Univ {
+		if u == v {
+			f.Univ = append(f.Univ[:i], f.Univ[i+1:]...)
+			for _, d := range f.Deps {
+				d.Remove(v)
+			}
+			return
+		}
+	}
+	for i, y := range f.Exist {
+		if y == v {
+			f.Exist = append(f.Exist[:i], f.Exist[i+1:]...)
+			delete(f.Deps, v)
+			return
+		}
+	}
+}
+
+// RetainSupport implements Prefix: variables outside the support leave the
+// prefix (universals leave the dependency sets as well).
+func (p FormulaPrefix) RetainSupport(support map[cnf.Var]bool) int {
+	f := p.F
+	removed := 0
+	var exist []cnf.Var
+	for _, y := range f.Exist {
+		if support[y] {
+			exist = append(exist, y)
+		} else {
+			delete(f.Deps, y)
+			removed++
+		}
+	}
+	f.Exist = exist
+	var univ []cnf.Var
+	for _, x := range f.Univ {
+		if support[x] {
+			univ = append(univ, x)
+			continue
+		}
+		for _, d := range f.Deps {
+			d.Remove(x)
+		}
+		removed++
+	}
+	f.Univ = univ
+	return removed
+}

@@ -4,12 +4,13 @@
 //
 // The solver eliminates quantifier blocks from the innermost block outward:
 // existential variables by ∃v.φ = φ[0/v] ∨ φ[1/v], universal variables by
-// ∀v.φ = φ[0/v] ∧ φ[1/v], both directly on the AIG. Between eliminations it
-// applies the syntactic unit/pure-literal rules of the paper's Theorems 5/6
-// and periodically compresses the AIG by SAT sweeping (FRAIG reduction).
-// When only the outermost existential block remains, a single SAT call
-// finishes the job; when the matrix collapses to a constant the answer is
-// immediate.
+// ∀v.φ = φ[0/v] ∧ φ[1/v], both directly on the AIG. The elimination runs on
+// the shared pass pipeline (internal/pipeline): between eliminations it
+// applies the same unit/pure pass (Theorems 5/6) and SAT-sweeping pass
+// (FRAIG reduction) as the HQS main loop, each execution budget-polled,
+// fault-injectable, and emitting one structured trace event. When only the
+// outermost existential block remains, a single SAT call finishes the job;
+// when the matrix collapses to a constant the answer is immediate.
 package qbf
 
 import (
@@ -22,7 +23,16 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 	"repro/internal/faults"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
 )
+
+// Pass names contributed by this package, registered at init so fault-spec
+// validation knows them before any solve runs.
+func init() {
+	pipeline.RegisterPass("blockelim")
+	pipeline.RegisterPass("finalsat")
+}
 
 // ErrTimeout is returned by Solve when the deadline passes before a verdict.
 var ErrTimeout = errors.New("qbf: deadline exceeded")
@@ -51,6 +61,9 @@ type Options struct {
 	// threaded into sweeps and the final SAT call so a cancellation lands
 	// mid-oracle, not only between eliminations.
 	Budget *budget.Budget
+	// Trace, when non-nil, receives one structured event per executed
+	// pipeline pass.
+	Trace trace.Sink
 }
 
 // DefaultOptions mirror the configuration used in the paper's experiments.
@@ -92,6 +105,74 @@ type block struct {
 	vars  []cnf.Var
 }
 
+// blockPrefix adapts the linear block list to pipeline.Prefix, so the
+// shared unit/pure and support passes see the same quantifier semantics the
+// HQS pipeline's formula-backed prefix provides.
+type blockPrefix struct{ blocks []block }
+
+func (p *blockPrefix) lookup(v cnf.Var) (exist, ok bool) {
+	for bi := range p.blocks {
+		for _, w := range p.blocks[bi].vars {
+			if w == v {
+				return p.blocks[bi].exist, true
+			}
+		}
+	}
+	return false, false
+}
+
+// IsExistential implements pipeline.Prefix.
+func (p *blockPrefix) IsExistential(v cnf.Var) bool {
+	exist, ok := p.lookup(v)
+	return ok && exist
+}
+
+// IsUniversal implements pipeline.Prefix.
+func (p *blockPrefix) IsUniversal(v cnf.Var) bool {
+	exist, ok := p.lookup(v)
+	return ok && !exist
+}
+
+// Remove implements pipeline.Prefix. Emptied blocks stay in place; the
+// driver pops them when they become innermost.
+func (p *blockPrefix) Remove(v cnf.Var) {
+	for bi := range p.blocks {
+		b := &p.blocks[bi]
+		for i, w := range b.vars {
+			if w == v {
+				b.vars = append(b.vars[:i], b.vars[i+1:]...)
+				return
+			}
+		}
+	}
+}
+
+// RetainSupport implements pipeline.Prefix.
+func (p *blockPrefix) RetainSupport(support map[cnf.Var]bool) int {
+	before := 0
+	for _, b := range p.blocks {
+		before += len(b.vars)
+	}
+	p.blocks = filterBlocks(p.blocks, support)
+	after := 0
+	for _, b := range p.blocks {
+		after += len(b.vars)
+	}
+	return before - after
+}
+
+// Size implements pipeline.Prefix.
+func (p *blockPrefix) Size() (univ, exist int) {
+	for _, b := range p.blocks {
+		if b.exist {
+			exist += len(b.vars)
+		} else {
+			univ += len(b.vars)
+		}
+	}
+	return univ, exist
+}
+
 // Solve decides the QBF given by the linear prefix (outermost block first,
 // as produced by dqbf.Linearize) and the matrix. It returns the truth value.
 // An aig.ErrNodeLimit panic from the graph propagates as an error.
@@ -107,45 +188,96 @@ func (s *Solver) Solve(prefix []dqbf.Block, matrix aig.Ref) (result bool, err er
 	}()
 
 	// Flatten into alternating quantifier blocks, innermost last.
-	var blocks []block
+	bp := &blockPrefix{}
 	push := func(exist bool, vars []cnf.Var) {
 		if len(vars) == 0 {
 			return
 		}
-		if n := len(blocks); n > 0 && blocks[n-1].exist == exist {
-			blocks[n-1].vars = append(blocks[n-1].vars, vars...)
+		if n := len(bp.blocks); n > 0 && bp.blocks[n-1].exist == exist {
+			bp.blocks[n-1].vars = append(bp.blocks[n-1].vars, vars...)
 			return
 		}
-		blocks = append(blocks, block{exist: exist, vars: append([]cnf.Var(nil), vars...)})
+		bp.blocks = append(bp.blocks, block{exist: exist, vars: append([]cnf.Var(nil), vars...)})
 	}
 	for _, b := range prefix {
 		push(false, b.Univ)
 		push(true, b.Exist)
 	}
 
-	m := matrix
-	lastSweepSize := s.G.ConeSize(m)
-	// stopErr reports why the solve must unwind: ErrTimeout for the option
-	// deadline or the budget's deadline, ErrCancelled for an explicit cancel
-	// or cap exhaustion, nil to keep going.
-	stopErr := func() error {
-		if !s.Opt.Deadline.IsZero() && time.Now().After(s.Opt.Deadline) {
+	st := &pipeline.State{
+		G:        s.G,
+		Matrix:   matrix,
+		Prefix:   bp,
+		Budget:   s.Opt.Budget,
+		Deadline: s.Opt.Deadline,
+	}
+	r := pipeline.NewRunner(st, s.Opt.Trace, "qbf")
+	sweep := pipeline.NewSweepPass(s.Opt.SweepThreshold, s.Opt.SweepOptions)
+	sweep.Reset(s.G.ConeSize(matrix))
+	defer func() {
+		up := r.Total("unitpure")
+		s.Stat.UnitElims += int(up.Counters["units"])
+		s.Stat.PureElims += int(up.Counters["pures"])
+		n, sst := sweep.Stats()
+		s.Stat.Sweeps += n
+		s.Stat.Sweep.Add(sst)
+	}()
+
+	// mapErr converts pipeline stop errors into this package's API errors.
+	mapErr := func(err error) error {
+		switch {
+		case errors.Is(err, pipeline.ErrTimeout):
 			return ErrTimeout
-		}
-		switch err := s.Opt.Budget.Err(); err {
-		case nil:
-			return nil
-		case budget.ErrDeadline:
-			return ErrTimeout
-		default:
+		case errors.Is(err, pipeline.ErrCancelled):
 			return ErrCancelled
+		default:
+			return fmt.Errorf("qbf: %w", err)
 		}
 	}
 
 	finalSAT := s.Opt.FinalSAT
-	for len(blocks) > 0 {
-		if err := stopErr(); err != nil {
-			return false, err
+	fellBack := false
+	finalSATPass := pipeline.NewPass("finalsat", func(st *pipeline.State) (pipeline.Result, error) {
+		// Fault-injection seam: the final SAT shortcut is an optimization,
+		// so a fault here is contained by falling back to plain variable
+		// elimination for the remaining block.
+		if ferr := faults.Fire(faults.AIGFinalSAT); ferr != nil {
+			fellBack = true
+			return pipeline.Result{}, nil
+		}
+		// Outermost existential block: one SAT call, under the budget so a
+		// cancellation interrupts the CDCL search itself.
+		s.Stat.FinalSATRun = true
+		sat, _, err := s.G.IsSatisfiableBudget(st.Matrix, s.Opt.Budget)
+		if err != nil {
+			if stop := st.Stop(); stop != nil {
+				return pipeline.Result{}, stop
+			}
+			return pipeline.Result{}, err
+		}
+		st.Decide(sat, "finalsat")
+		return pipeline.Result{Changed: true}, nil
+	})
+	blockElim := pipeline.NewPass("blockelim", func(st *pipeline.State) (pipeline.Result, error) {
+		inner := &bp.blocks[len(bp.blocks)-1]
+		v := s.pickVariable(st.Matrix, inner.vars)
+		inner.vars = removeVar(inner.vars, v)
+		c := pipeline.Counters{}
+		if inner.exist {
+			st.Matrix = s.G.Exists(st.Matrix, v)
+			s.Stat.ExistElims++
+			c["exist"] = 1
+		} else {
+			st.Matrix = s.G.Forall(st.Matrix, v)
+			s.Stat.UnivElims++
+			c["univ"] = 1
+		}
+		return pipeline.Result{Changed: true, Counters: c}, nil
+	})
+
+	for len(bp.blocks) > 0 {
+		if err := st.Stop(); err != nil {
+			return false, mapErr(err)
 		}
 		// Fault-injection seam: one block-elimination step. A spurious
 		// Unknown unwinds like a cancellation; an injected error surfaces
@@ -156,125 +288,51 @@ func (s *Solver) Solve(prefix []dqbf.Block, matrix aig.Ref) (result bool, err er
 			}
 			return false, fmt.Errorf("qbf: %w", ferr)
 		}
-		if m.IsConst() {
-			return m == aig.True, nil
+		if st.Matrix.IsConst() {
+			return st.Matrix == aig.True, nil
 		}
 		if s.Opt.UnitPure {
-			m = s.applyUnitPure(m, blocks)
-			if m.IsConst() {
-				return m == aig.True, nil
+			if _, err := r.Run(pipeline.UnitPurePass{}); err != nil {
+				return false, mapErr(err)
+			}
+			if st.Matrix.IsConst() {
+				return st.Matrix == aig.True, nil
 			}
 		}
 		// Drop variables that left the support.
-		support := s.G.Support(m)
-		blocks = filterBlocks(blocks, support)
-		if len(blocks) == 0 {
+		if _, err := r.Run(pipeline.DropSupportPass{}); err != nil {
+			return false, mapErr(err)
+		}
+		if len(bp.blocks) == 0 {
 			break
 		}
-		inner := &blocks[len(blocks)-1]
+		inner := &bp.blocks[len(bp.blocks)-1]
 		if len(inner.vars) == 0 {
-			blocks = blocks[:len(blocks)-1]
+			bp.blocks = bp.blocks[:len(bp.blocks)-1]
 			continue
 		}
-		if inner.exist && len(blocks) == 1 && finalSAT {
-			// Fault-injection seam: the final SAT shortcut is an
-			// optimization, so a fault here is contained by falling back to
-			// plain variable elimination for the remaining block.
-			if ferr := faults.Fire(faults.AIGFinalSAT); ferr != nil {
+		if inner.exist && len(bp.blocks) == 1 && finalSAT {
+			if _, err := r.Run(finalSATPass); err != nil {
+				return false, mapErr(err)
+			}
+			if fellBack {
 				finalSAT = false
+				fellBack = false
 				continue
 			}
-			// Outermost existential block: one SAT call, under the budget so
-			// a cancellation interrupts the CDCL search itself.
-			s.Stat.FinalSATRun = true
-			sat, _, err := s.G.IsSatisfiableBudget(m, s.Opt.Budget)
-			if err != nil {
-				if stop := stopErr(); stop != nil {
-					return false, stop
-				}
-				return false, err
-			}
-			return sat, nil
+			return st.Sat, nil
 		}
-		v := s.pickVariable(m, inner.vars)
-		inner.vars = removeVar(inner.vars, v)
-		if inner.exist {
-			m = s.G.Exists(m, v)
-			s.Stat.ExistElims++
-		} else {
-			m = s.G.Forall(m, v)
-			s.Stat.UnivElims++
+		if _, err := r.Run(blockElim); err != nil {
+			return false, mapErr(err)
 		}
-		if s.Opt.SweepThreshold > 0 {
-			if size := s.G.ConeSize(m); size > lastSweepSize+s.Opt.SweepThreshold {
-				so := s.Opt.SweepOptions
-				so.Deadline = s.Opt.Deadline
-				so.Budget = s.Opt.Budget
-				var sst aig.SweepStats
-				m, sst = s.G.Sweep(m, so)
-				s.Stat.Sweep.Add(sst)
-				s.Stat.Sweeps++
-				lastSweepSize = s.G.ConeSize(m)
-			}
+		if _, err := r.Run(sweep); err != nil {
+			return false, mapErr(err)
 		}
 	}
-	if !m.IsConst() {
-		return false, fmt.Errorf("qbf: variables eliminated but matrix not constant (support %v)", s.G.Support(m))
+	if !st.Matrix.IsConst() {
+		return false, fmt.Errorf("qbf: variables eliminated but matrix not constant (support %v)", s.G.Support(st.Matrix))
 	}
-	return m == aig.True, nil
-}
-
-// applyUnitPure eliminates unit and pure variables per Theorems 5 and 6
-// until a fixpoint, updating the blocks in place.
-func (s *Solver) applyUnitPure(m aig.Ref, blocks []block) aig.Ref {
-	for {
-		changed := false
-		up := s.G.UnitPure(m)
-		for bi := range blocks {
-			b := &blocks[bi]
-			for _, v := range append([]cnf.Var(nil), b.vars...) {
-				p, ok := up[v]
-				if !ok {
-					continue
-				}
-				switch {
-				case b.exist && p.PosUnit:
-					m = s.G.Cofactor(m, v, true)
-					s.Stat.UnitElims++
-				case b.exist && p.NegUnit:
-					m = s.G.Cofactor(m, v, false)
-					s.Stat.UnitElims++
-				case !b.exist && (p.PosUnit || p.NegUnit):
-					// Universal unit: the formula is falsified by the
-					// opposite value.
-					return aig.False
-				case b.exist && p.PosPure:
-					m = s.G.Cofactor(m, v, true)
-					s.Stat.PureElims++
-				case b.exist && p.NegPure:
-					m = s.G.Cofactor(m, v, false)
-					s.Stat.PureElims++
-				case !b.exist && p.PosPure:
-					m = s.G.Cofactor(m, v, false)
-					s.Stat.PureElims++
-				case !b.exist && p.NegPure:
-					m = s.G.Cofactor(m, v, true)
-					s.Stat.PureElims++
-				default:
-					continue
-				}
-				b.vars = removeVar(b.vars, v)
-				changed = true
-				if m.IsConst() {
-					return m
-				}
-				up = s.G.UnitPure(m)
-			}
-		}
-		if !changed {
-			return m
-		}
-	}
+	return st.Matrix == aig.True, nil
 }
 
 // pickVariable chooses the next variable of the innermost block: the one

@@ -1,0 +1,112 @@
+package qbf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/aig"
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+	"repro/internal/pipeline"
+)
+
+// buildRandomMatrix grows a deterministic random AND/OR structure over the
+// literals of vars. Given equal seeds it builds structurally identical
+// matrices, so two graphs can be compared node for node afterwards.
+func buildRandomMatrix(g *aig.Graph, vars []cnf.Var, rng *rand.Rand) aig.Ref {
+	lit := func() aig.Ref {
+		r := g.Input(vars[rng.Intn(len(vars))])
+		if rng.Intn(2) == 0 {
+			r = r.Not()
+		}
+		return r
+	}
+	pool := make([]aig.Ref, 0, 16)
+	for i := 0; i < 8; i++ {
+		pool = append(pool, lit())
+	}
+	for i := 0; i < 24; i++ {
+		a := pool[rng.Intn(len(pool))]
+		b := pool[rng.Intn(len(pool))]
+		if rng.Intn(2) == 0 {
+			pool = append(pool, g.And(a, b))
+		} else {
+			pool = append(pool, g.Or(a, b))
+		}
+	}
+	m := pool[len(pool)-1]
+	// And in a few conjuncts so top-level units exist often enough to
+	// exercise the unit branch, not only the pure branches.
+	for i := 0; i < 2; i++ {
+		m = g.And(m, lit())
+	}
+	return m
+}
+
+// TestUnitPureSharedBitIdentical is the regression test for deduplicating
+// the unit/pure fixpoint that used to exist twice (core.applyUnitPure and
+// this package's equivalent): the one shared pipeline.UnitPurePass must
+// produce bit-identical AIGs and matrices when driven through the HQS
+// formula-backed prefix and through this package's block-backed prefix, for
+// the same quantifier assignment over a corpus of seeded random matrices.
+func TestUnitPureSharedBitIdentical(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		univ := []cnf.Var{1, 2, 3}
+		exist := []cnf.Var{4, 5, 6, 7, 8}
+		vars := append(append([]cnf.Var(nil), univ...), exist...)
+
+		// Caller 1: the HQS pipeline's view — a dqbf.Formula-backed prefix.
+		g1 := aig.New()
+		m1 := buildRandomMatrix(g1, vars, rand.New(rand.NewSource(seed)))
+		f := dqbf.New()
+		f.Univ = append([]cnf.Var(nil), univ...)
+		f.Exist = append([]cnf.Var(nil), exist...)
+		for _, y := range exist {
+			f.Deps[y] = dqbf.NewVarSet(univ...)
+		}
+		f.Matrix.NumVars = int(vars[len(vars)-1])
+		st1 := &pipeline.State{G: g1, Matrix: m1, Prefix: pipeline.FormulaPrefix{F: f}}
+
+		// Caller 2: this package's view — a block-backed prefix with the same
+		// quantifier assignment.
+		g2 := aig.New()
+		m2 := buildRandomMatrix(g2, vars, rand.New(rand.NewSource(seed)))
+		bp := &blockPrefix{blocks: []block{
+			{exist: false, vars: append([]cnf.Var(nil), univ...)},
+			{exist: true, vars: append([]cnf.Var(nil), exist...)},
+		}}
+		st2 := &pipeline.State{G: g2, Matrix: m2, Prefix: bp}
+
+		if m1 != m2 {
+			t.Fatalf("seed %d: matrices differ before the pass (%v vs %v): the builder is not deterministic", seed, m1, m2)
+		}
+
+		res1, err1 := (pipeline.UnitPurePass{}).Run(st1)
+		res2, err2 := (pipeline.UnitPurePass{}).Run(st2)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("seed %d: unexpected errors %v / %v", seed, err1, err2)
+		}
+		if st1.Matrix != st2.Matrix {
+			t.Errorf("seed %d: resulting matrix refs differ: formula-backed %v, block-backed %v", seed, st1.Matrix, st2.Matrix)
+		}
+		if s1, s2 := g1.String(), g2.String(); s1 != s2 {
+			t.Errorf("seed %d: resulting AIGs differ\nformula-backed:\n%s\nblock-backed:\n%s", seed, s1, s2)
+		}
+		if res1.Changed != res2.Changed {
+			t.Errorf("seed %d: Changed differs: %v vs %v", seed, res1.Changed, res2.Changed)
+		}
+		for _, k := range []string{"units", "pures"} {
+			if res1.Counters[k] != res2.Counters[k] {
+				t.Errorf("seed %d: counter %s differs: %d vs %d", seed, k, res1.Counters[k], res2.Counters[k])
+			}
+		}
+		// Both prefixes must have dropped the same variables.
+		for _, v := range vars {
+			if e1, u1, e2, u2 := st1.Prefix.IsExistential(v), st1.Prefix.IsUniversal(v),
+				st2.Prefix.IsExistential(v), st2.Prefix.IsUniversal(v); e1 != e2 || u1 != u2 {
+				t.Errorf("seed %d: var %d quantifier state differs: formula ∃=%v ∀=%v, block ∃=%v ∀=%v",
+					seed, v, e1, u1, e2, u2)
+			}
+		}
+	}
+}

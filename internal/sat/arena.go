@@ -66,7 +66,7 @@ func (a *arena) lits(c cref) []cnf.Lit {
 	return a.data[c+hdrWords : int(c)+hdrWords+a.size(c)]
 }
 
-func (a *arena) lbd(c cref) int     { return int(a.data[c+1]) }
+func (a *arena) lbd(c cref) int       { return int(a.data[c+1]) }
 func (a *arena) setLBD(c cref, v int) { a.data[c+1] = cnf.Lit(v) }
 
 func (a *arena) activity(c cref) float32 {

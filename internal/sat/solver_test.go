@@ -379,8 +379,8 @@ func TestPropagateSelfAppendRewatch(t *testing.T) {
 		t.Fatalf("setup: watches[l] has %d watchers, want 1", len(s.watches[l]))
 	}
 
-	s.assign[1] = lTrue                // ¬a is false: the scan must look for a new watch
-	s.trail = append(s.trail, l)       // scan watches[l] with ¬l still unassigned
+	s.assign[1] = lTrue          // ¬a is false: the scan must look for a new watch
+	s.trail = append(s.trail, l) // scan watches[l] with ¬l still unassigned
 	if confl := s.propagate(); confl != crefUndef {
 		t.Fatalf("unexpected conflict %d", confl)
 	}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/dqbf"
 	"repro/internal/faults"
+	"repro/internal/trace"
 )
 
 // Errors returned by Submit and Cancel.
@@ -45,6 +46,10 @@ type Config struct {
 	// Retry is the transient-failure policy applied to every job (zero
 	// values take the RetryPolicy defaults).
 	Retry RetryPolicy
+	// TraceEvents bounds the per-job pass-trace ring (default 1024 events;
+	// negative disables per-job tracing). The trace stays queryable with the
+	// job's history entry.
+	TraceEvents int
 }
 
 func (c Config) withDefaults() Config {
@@ -62,6 +67,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DefaultEngine == "" {
 		c.DefaultEngine = EnginePortfolio
+	}
+	if c.TraceEvents == 0 {
+		c.TraceEvents = 1024
 	}
 	c.Retry = c.Retry.withDefaults()
 	return c
@@ -113,6 +121,9 @@ type Job struct {
 	key string
 	eng Engine
 	bud *budget.Budget
+	// trc records the per-pass pipeline trace of every engine attempt; nil
+	// when the scheduler's TraceEvents config disables tracing.
+	trc *trace.Recorder
 
 	mu        sync.Mutex
 	state     JobState
@@ -135,6 +146,17 @@ func (j *Job) Outcome() Outcome {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.outcome
+}
+
+// Trace returns the job's per-pass pipeline trace so far (one trace.Event
+// per executed pass across every engine attempt) and how many events were
+// dropped by the ring bound. It returns (nil, 0) when tracing is disabled
+// or the job never ran an HQS pipeline (cache hits, iDQ-only jobs).
+func (j *Job) Trace() ([]trace.Event, int) {
+	if j.trc == nil {
+		return nil, 0
+	}
+	return j.trc.Events(), j.trc.Dropped()
 }
 
 // Info returns a snapshot of the job's state and timings.
@@ -293,6 +315,9 @@ func (s *Scheduler) Submit(f *dqbf.Formula, eng Engine, lim Limits) (*Job, error
 		submitted: time.Now(),
 		done:      make(chan struct{}),
 	}
+	if s.cfg.TraceEvents > 0 {
+		job.trc = trace.NewRecorder(s.cfg.TraceEvents)
+	}
 
 	if out, ok := s.cacheLookup(job.key); ok {
 		out.FromCache = true
@@ -436,6 +461,10 @@ func (s *Scheduler) runJob(job *Job) {
 	}
 
 	attempt := 0
+	var sink trace.Sink
+	if job.trc != nil {
+		sink = job.trc
+	}
 	out := solveRetry(job.f, job.eng, job.bud, s.cfg.Retry, func(att Outcome) {
 		attempt++
 		if attempt > 1 {
@@ -444,7 +473,7 @@ func (s *Scheduler) runJob(job *Job) {
 		if att.PanicStack != "" {
 			s.panics.Add(1)
 		}
-	})
+	}, sink)
 	s.fallbacks.Add(int64(out.Fallbacks))
 	out.Conflicts = job.bud.ConflictsUsed()
 	out.Decisions = job.bud.DecisionsUsed()

@@ -26,6 +26,7 @@ import (
 	"repro/internal/dqbf"
 	"repro/internal/faults"
 	"repro/internal/idq"
+	"repro/internal/trace"
 )
 
 // Engine selects which solver core decides a job.
@@ -148,10 +149,18 @@ type Outcome struct {
 // Conflict/decision meters are read from b, so callers wanting per-call
 // totals should pass a fresh budget per call.
 func Run(f *dqbf.Formula, eng Engine, b *budget.Budget) (Outcome, error) {
+	return RunTraced(f, eng, b, nil)
+}
+
+// RunTraced is Run with a per-pass trace sink: every pipeline pass the HQS
+// engine executes (in portfolio mode, the HQS arm) emits one structured
+// trace.Event to sink. A nil sink disables tracing; the iDQ engine has no
+// pass pipeline and emits nothing.
+func RunTraced(f *dqbf.Formula, eng Engine, b *budget.Budget, sink trace.Sink) (Outcome, error) {
 	if _, err := ParseEngine(string(eng)); err != nil {
 		return Outcome{}, err
 	}
-	out := runGuarded(f, eng, b)
+	out := runGuarded(f, eng, b, sink)
 	out.Attempts = 1
 	out.Conflicts = b.ConflictsUsed()
 	out.Decisions = b.DecisionsUsed()
@@ -161,7 +170,7 @@ func Run(f *dqbf.Formula, eng Engine, b *budget.Budget) (Outcome, error) {
 // runGuarded executes one engine attempt with panic isolation: a panic
 // anywhere in the engine (or injected by a fault plan) is converted into a
 // VerdictError outcome carrying the message and captured stack.
-func runGuarded(f *dqbf.Formula, eng Engine, b *budget.Budget) (out Outcome) {
+func runGuarded(f *dqbf.Formula, eng Engine, b *budget.Budget, sink trace.Sink) (out Outcome) {
 	defer func() {
 		if r := recover(); r != nil {
 			out = Outcome{
@@ -175,11 +184,11 @@ func runGuarded(f *dqbf.Formula, eng Engine, b *budget.Budget) (out Outcome) {
 	}()
 	switch eng {
 	case EngineHQS:
-		return runHQS(f, b)
+		return runHQS(f, b, sink)
 	case EngineIDQ:
 		return runIDQ(f, b)
 	default:
-		return runPortfolio(f, b)
+		return runPortfolio(f, b, sink)
 	}
 }
 
@@ -199,9 +208,10 @@ func reasonFromErr(err error) string {
 	}
 }
 
-func runHQS(f *dqbf.Formula, b *budget.Budget) Outcome {
+func runHQS(f *dqbf.Formula, b *budget.Budget, sink trace.Sink) Outcome {
 	opt := core.DefaultOptions()
 	opt.Budget = b
+	opt.Trace = sink
 	res := core.New(opt).Solve(f)
 	out := Outcome{Engine: EngineHQS}
 	switch res.Status {
@@ -278,11 +288,11 @@ func verifyCertificate(f *dqbf.Formula, c *dqbf.Certificate) error {
 // Each arm runs guarded in its own goroutine, so a panicking engine loses
 // the race instead of killing the process; the portfolio reports Error only
 // when no arm produced a verdict and at least one failed outright.
-func runPortfolio(f *dqbf.Formula, b *budget.Budget) Outcome {
+func runPortfolio(f *dqbf.Formula, b *budget.Budget, sink trace.Sink) Outcome {
 	b1, b2 := b.Child(), b.Child()
 	ch := make(chan Outcome, 2)
-	go func() { ch <- runGuarded(f, EngineHQS, b1) }()
-	go func() { ch <- runGuarded(f, EngineIDQ, b2) }()
+	go func() { ch <- runGuarded(f, EngineHQS, b1, sink) }()
+	go func() { ch <- runGuarded(f, EngineIDQ, b2, nil) }()
 
 	var winner *Outcome
 	var losers []Outcome
