@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check fuzz-smoke chaos serve-smoke bench bench-sat bench-sweep baseline
+.PHONY: build test race vet check fuzz-smoke fuzz-native chaos serve-smoke bench bench-sat bench-sweep baseline
 
 build:
 	$(GO) build ./...
@@ -13,15 +13,24 @@ vet:
 
 # Race-check the packages with concurrent code paths (the parallel SAT
 # sweep, the SAT substrate it drives, the job scheduler/portfolio, the
-# fault-injection plumbing they share, and the daemon's HTTP handlers).
+# fault-injection plumbing they share, the daemon's HTTP handlers, and the
+# certificate checker the portfolio arms consult concurrently).
 race:
-	$(GO) test -race ./internal/sat ./internal/aig ./internal/service ./internal/faults ./internal/leakcheck ./cmd/hqsd
+	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/service ./internal/faults ./internal/leakcheck ./cmd/hqsd
 
 # Differential fuzzing smoke run: 200 random instances, every solver
-# configuration against the brute-force reference. The seed is pinned so the
+# configuration against the brute-force reference, with Skolem certificate
+# extraction and checking on every HQS SAT answer. The seed is pinned so the
 # gate checks the same corpus on every run.
 fuzz-smoke:
-	$(GO) run ./cmd/dqbffuzz -n 200 -seed 1
+	$(GO) run ./cmd/dqbffuzz -n 200 -seed 1 -cert
+
+# Native go-fuzz harnesses, run briefly from the committed corpora: the
+# DQDIMACS reader (no panics; accepted input round-trips) and the AIG
+# compose/cofactor identities the certificate extractor relies on.
+fuzz-native:
+	$(GO) test ./internal/dqbf -run '^$$' -fuzz FuzzDQDIMACSReader -fuzztime 10s
+	$(GO) test ./internal/aig -run '^$$' -fuzz FuzzAIGCompose -fuzztime 10s
 
 # Chaos drill under the race detector: fault-injected panics, errors, and
 # spurious Unknowns against the scheduler with concurrent submits, cancels,
@@ -29,13 +38,15 @@ fuzz-smoke:
 chaos:
 	$(GO) test -race -run 'TestChaos|TestDrainRace' -v ./internal/service
 
-# The PR gate: vet, the full test suite, the race pass, the fuzz smoke, and
-# the chaos drill.
+# The PR gate: vet, the full test suite, the race pass, the certified fuzz
+# smoke, the native fuzz harnesses, and the chaos drill.
 check:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/sat ./internal/aig ./internal/service ./internal/faults ./internal/leakcheck ./cmd/hqsd
-	$(GO) run ./cmd/dqbffuzz -n 200 -seed 1
+	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/service ./internal/faults ./internal/leakcheck ./cmd/hqsd
+	$(GO) run ./cmd/dqbffuzz -n 200 -seed 1 -cert
+	$(GO) test ./internal/dqbf -run '^$$' -fuzz FuzzDQDIMACSReader -fuzztime 10s
+	$(GO) test ./internal/aig -run '^$$' -fuzz FuzzAIGCompose -fuzztime 10s
 	$(GO) test -race -run 'TestChaos|TestDrainRace' ./internal/service
 
 # End-to-end service smoke test: build hqsd, start it, solve the example

@@ -5,9 +5,15 @@
 // Skolem-table enumeration. Any disagreement is printed as a DQDIMACS
 // reproduction and the process exits nonzero.
 //
+// iDQ certificates are always re-checked through the independent checker
+// (internal/cert); with -cert every HQS variant additionally extracts a
+// Skolem certificate on SAT and has it checked the same way, so a single
+// run validates certificates from every certificate-producing engine. A
+// rejected certificate prints its Skolem table alongside the DQDIMACS repro.
+//
 // Usage:
 //
-//	dqbffuzz [-n 1000] [-seed 1] [-maxuniv 4] [-maxexist 4] [-maxclauses 14]
+//	dqbffuzz [-n 1000] [-seed 1] [-cert] [-maxuniv 4] [-maxexist 4] [-maxclauses 14]
 package main
 
 import (
@@ -16,7 +22,7 @@ import (
 	"math/rand"
 	"os"
 
-	"repro/internal/cnf"
+	"repro/internal/cert"
 	"repro/internal/core"
 	"repro/internal/dqbf"
 	"repro/internal/expand"
@@ -31,6 +37,7 @@ func main() {
 		maxUniv    = flag.Int("maxuniv", 4, "maximum universal variables")
 		maxExist   = flag.Int("maxexist", 4, "maximum existential variables")
 		maxClauses = flag.Int("maxclauses", 14, "maximum clauses")
+		certify    = flag.Bool("cert", false, "extract and check HQS Skolem certificates on every SAT verdict")
 		verbose    = flag.Bool("v", false, "print every instance verdict")
 	)
 	flag.Parse()
@@ -42,10 +49,16 @@ func main() {
 		"hqs-greedy":   greedy(),
 		"hqs-elim-all": elimAll(),
 	}
+	if *certify {
+		for name, opt := range hqsVariants {
+			opt.Certify = true
+			hqsVariants[name] = opt
+		}
+	}
 
 	bad := 0
 	for i := 0; i < *n; i++ {
-		f := randomDQBF(rng, 1+rng.Intn(*maxUniv), 1+rng.Intn(*maxExist), 1+rng.Intn(*maxClauses))
+		f := dqbf.RandomFormula(rng, 1+rng.Intn(*maxUniv), 1+rng.Intn(*maxExist), 1+rng.Intn(*maxClauses))
 		verdicts := map[string]bool{}
 
 		for name, opt := range hqsVariants {
@@ -56,12 +69,27 @@ func main() {
 				continue
 			}
 			verdicts[name] = res.Sat
+			if opt.Certify && res.Sat {
+				if res.CertErr != nil {
+					fail(f, fmt.Sprintf("%s certificate extraction failed: %v", name, res.CertErr))
+					bad++
+				} else if err := cert.Check(f, res.Certificate); err != nil {
+					failCert(f, fmt.Sprintf("%s certificate rejected: %v", name, err), res.Certificate)
+					bad++
+				}
+			}
 		}
 		ires := idq.New(idq.Options{}).Solve(f)
 		verdicts["idq"] = ires.Sat
 		if ires.Sat && ires.Certificate != nil {
-			if err := ires.Certificate.Verify(f); err != nil {
-				fail(f, fmt.Sprintf("idq certificate invalid: %v", err))
+			// One checker code path for every engine: lift the table
+			// certificate to Skolem AIGs and check it independently.
+			ic, err := cert.FromTables(f, ires.Certificate)
+			if err != nil {
+				fail(f, fmt.Sprintf("idq certificate conversion failed: %v", err))
+				bad++
+			} else if err := cert.Check(f, ic); err != nil {
+				failCert(f, fmt.Sprintf("idq certificate rejected: %v", err), ic)
 				bad++
 			}
 		}
@@ -120,37 +148,18 @@ func elimAll() core.Options {
 	return o
 }
 
-func randomDQBF(rng *rand.Rand, nUniv, nExist, nClauses int) *dqbf.Formula {
-	f := dqbf.New()
-	for i := 1; i <= nUniv; i++ {
-		f.AddUniversal(cnf.Var(i))
-	}
-	for i := 0; i < nExist; i++ {
-		y := cnf.Var(nUniv + i + 1)
-		var deps []cnf.Var
-		for _, x := range f.Univ {
-			if rng.Intn(2) == 0 {
-				deps = append(deps, x)
-			}
-		}
-		f.AddExistential(y, deps...)
-	}
-	nv := nUniv + nExist
-	for i := 0; i < nClauses; i++ {
-		k := 1 + rng.Intn(3)
-		c := make(cnf.Clause, 0, k)
-		for j := 0; j < k; j++ {
-			c = append(c, cnf.NewLit(cnf.Var(1+rng.Intn(nv)), rng.Intn(2) == 0))
-		}
-		f.Matrix.Clauses = append(f.Matrix.Clauses, c)
-	}
-	return f
-}
-
 func fail(f *dqbf.Formula, msg string) {
 	fmt.Fprintln(os.Stderr, "FAILURE:", msg)
 	fmt.Fprintln(os.Stderr, "instance:")
 	if err := f.WriteDQDIMACS(os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "  (write error:", err, ")")
 	}
+}
+
+// failCert is fail plus the rejected certificate's Skolem tables, so a
+// mismatch report shows both the instance and the functions that fail it.
+func failCert(f *dqbf.Formula, msg string, c *cert.Certificate) {
+	fail(f, msg)
+	fmt.Fprintln(os.Stderr, "certificate:")
+	fmt.Fprint(os.Stderr, cert.Format(f, c))
 }

@@ -12,7 +12,11 @@
 // racing both engines; -timeout is enforced through a cancellable budget,
 // so it interrupts a running SAT oracle rather than waiting for the next
 // loop iteration. -trace prints one table row per executed pipeline pass to
-// stderr, and -trace-json streams the same events as JSON lines.
+// stderr, and -trace-json streams the same events as JSON lines. -cert makes
+// a SAT verdict carry a Skolem certificate: the solver extracts per-variable
+// Skolem functions, the independent checker (internal/cert) validates them
+// against the input formula, and the certificate is printed as Skolem tables
+// on stdout; a rejected certificate is an error exit, never a bare SAT.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/budget"
+	"repro/internal/cert"
 	"repro/internal/core"
 	"repro/internal/dqbf"
 	"repro/internal/service"
@@ -41,6 +46,7 @@ func main() {
 		noSweep    = flag.Bool("no-sweep", false, "disable SAT sweeping")
 		workers    = flag.Int("workers", 1, "SAT-sweeping worker pool size (0 = one per CPU)")
 		stats      = flag.Bool("stats", false, "print solver statistics to stderr")
+		certFlag   = flag.Bool("cert", false, "extract, check, and print a Skolem certificate on SAT")
 		traceFlag  = flag.Bool("trace", false, "print a per-pass pipeline trace table to stderr")
 		traceJSON  = flag.String("trace-json", "", `stream per-pass trace events as JSON lines to a file ("-" = stdout)`)
 	)
@@ -97,12 +103,16 @@ func main() {
 			fmt.Fprintln(os.Stderr, "hqs:", err)
 			os.Exit(1)
 		}
+		// The service path re-checks HQS SAT answers itself (and always checks
+		// iDQ certificates); -cert opts the HQS arms in.
+		service.SetCertifyHQS(*certFlag)
 		runService(formula, eng, bud, *stats, sink, rec)
 	}
 
 	opt := core.DefaultOptions()
 	opt.Budget = bud
 	opt.Trace = sink
+	opt.Certify = *certFlag
 	opt.NodeLimit = *nodeLimit
 	opt.Preprocess = !*noPre
 	opt.DetectGates = !*noGates && !*noPre
@@ -154,7 +164,21 @@ func main() {
 	switch res.Status {
 	case core.Solved:
 		if res.Sat {
+			if *certFlag {
+				if res.CertErr != nil {
+					fmt.Fprintln(os.Stderr, "hqs: certificate extraction failed:", res.CertErr)
+					os.Exit(1)
+				}
+				if err := cert.Check(formula, res.Certificate); err != nil {
+					fmt.Fprintln(os.Stderr, "hqs: certificate rejected:", err)
+					fmt.Fprint(os.Stderr, cert.Format(formula, res.Certificate))
+					os.Exit(1)
+				}
+			}
 			fmt.Println("SAT")
+			if *certFlag {
+				fmt.Print(cert.Format(formula, res.Certificate))
+			}
 			os.Exit(10)
 		}
 		fmt.Println("UNSAT")

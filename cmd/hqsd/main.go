@@ -57,6 +57,7 @@ func main() {
 		faultSpec    = flag.String("faults", "", "fault-injection plan for chaos drills, e.g. 'sat.solve:panic:p=0.1'")
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for probabilistic fault rules")
 		traceEvents  = flag.Int("trace-events", 0, "per-job pass-trace retention in events (0 = default 1024, negative = disable)")
+		certify      = flag.Bool("certify", false, "verify a Skolem certificate before reporting any HQS SAT verdict")
 	)
 	flag.Parse()
 
@@ -65,6 +66,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "hqsd:", err)
 		os.Exit(1)
 	}
+	service.SetCertifyHQS(*certify)
 	if *faultSpec != "" {
 		plan, err := faults.ParseSpec(*faultSpec, *faultSeed)
 		if err != nil {

@@ -1,0 +1,138 @@
+package aig
+
+import (
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// fuzzVars is the input alphabet of the fuzz-built AIGs: small enough that
+// exhaustive evaluation over all 2^4 assignments stays cheap.
+var fuzzVars = []cnf.Var{1, 2, 3, 4}
+
+// buildFuzzAIG interprets data as a stack program over a small variable set:
+// each byte either pushes an input/constant or combines stack entries with
+// AND/OR/XOR/NOT/ITE. It returns the final stack top (or False for the empty
+// program) — a deterministic way to grow structurally diverse AIGs from
+// fuzzer-mutated bytes.
+func buildFuzzAIG(g *Graph, data []byte) Ref {
+	stack := []Ref{False}
+	pop := func() Ref {
+		r := stack[len(stack)-1]
+		if len(stack) > 1 {
+			stack = stack[:len(stack)-1]
+		}
+		return r
+	}
+	for _, b := range data {
+		switch b % 8 {
+		case 0, 1:
+			stack = append(stack, g.Input(fuzzVars[int(b/8)%len(fuzzVars)]))
+		case 2:
+			stack = append(stack, False.XorSign(b&8 != 0))
+		case 3:
+			stack = append(stack, pop().Not())
+		case 4:
+			stack = append(stack, g.And(pop(), pop()))
+		case 5:
+			stack = append(stack, g.Or(pop(), pop()))
+		case 6:
+			stack = append(stack, g.Xor(pop(), pop()))
+		case 7:
+			stack = append(stack, g.Ite(pop(), pop(), pop()))
+		}
+	}
+	return stack[len(stack)-1]
+}
+
+// evalAll evaluates r under every assignment of fuzzVars, returning a truth
+// vector indexed by the assignment bits.
+func evalAll(g *Graph, r Ref) []bool {
+	out := make([]bool, 1<<len(fuzzVars))
+	for bits := range out {
+		bits := bits
+		out[bits] = g.Eval(r, func(v cnf.Var) bool {
+			for i, w := range fuzzVars {
+				if w == v {
+					return bits&(1<<i) != 0
+				}
+			}
+			return false
+		})
+	}
+	return out
+}
+
+// FuzzAIGCompose checks the semantic identities the certificate extractor
+// leans on, over fuzz-built AIGs: cofactoring removes the variable from the
+// support, the Shannon expansion reconstructs the function, and Compose
+// agrees with substitute-then-evaluate.
+func FuzzAIGCompose(f *testing.F) {
+	f.Add([]byte{}, byte(0))
+	f.Add([]byte{0, 8, 4}, byte(1))
+	f.Add([]byte{0, 3, 8, 6, 16, 5, 24, 7}, byte(2))
+	f.Add([]byte{1, 9, 17, 25, 4, 4, 4}, byte(3))
+	f.Add([]byte{2, 10, 3, 7, 0, 6}, byte(0))
+	f.Fuzz(func(t *testing.T, data []byte, varSel byte) {
+		if len(data) > 256 {
+			return
+		}
+		g := New()
+		split := len(data) / 2
+		r := buildFuzzAIG(g, data[:split])
+		sub := buildFuzzAIG(g, data[split:])
+		v := fuzzVars[int(varSel)%len(fuzzVars)]
+
+		// Cofactor removes the variable from the support.
+		hi := g.Cofactor(r, v, true)
+		lo := g.Cofactor(r, v, false)
+		if g.Support(hi)[v] || g.Support(lo)[v] {
+			t.Fatalf("cofactor on %d left it in the support (hi %v, lo %v)", v, g.Support(hi), g.Support(lo))
+		}
+
+		// Shannon expansion: r ≡ ite(v, r|v=1, r|v=0).
+		shannon := g.Ite(g.Input(v), hi, lo)
+		want := evalAll(g, r)
+		if got := evalAll(g, shannon); !eqVec(got, want) {
+			t.Fatalf("Shannon expansion on %d changed the function", v)
+		}
+
+		// Compose agrees with substitute-then-evaluate.
+		composed := g.Compose(r, map[cnf.Var]Ref{v: sub})
+		if g.Support(composed)[v] && !g.Support(sub)[v] {
+			t.Fatalf("compose left %d in the support without the substitute using it", v)
+		}
+		subVec := evalAll(g, sub)
+		gotVec := evalAll(g, composed)
+		for bits := range gotVec {
+			// Evaluate r with v replaced by sub's value under the same
+			// assignment.
+			vi := varIndex(v)
+			adjusted := bits &^ (1 << vi)
+			if subVec[bits] {
+				adjusted |= 1 << vi
+			}
+			if gotVec[bits] != want[adjusted] {
+				t.Fatalf("compose mismatch at assignment %b: got %v, direct %v", bits, gotVec[bits], want[adjusted])
+			}
+		}
+	})
+}
+
+func eqVec(a, b []bool) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func varIndex(v cnf.Var) int {
+	for i, w := range fuzzVars {
+		if w == v {
+			return i
+		}
+	}
+	return -1
+}

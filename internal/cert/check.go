@@ -1,0 +1,183 @@
+package cert
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/aig"
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+)
+
+// Check validates the certificate against the original formula without
+// reusing any solver state: it verifies that every existential has a
+// function whose support lies inside its dependency set, substitutes the
+// functions into the matrix in a fresh graph, and asks one SAT call for a
+// universal assignment falsifying the substituted matrix. A nil error means
+// the certificate proves the formula satisfiable.
+func Check(f *dqbf.Formula, c *Certificate) error {
+	if c == nil || c.G == nil {
+		return fmt.Errorf("cert: no certificate")
+	}
+	univ := dqbf.NewVarSet(f.Univ...)
+
+	// Structural admissibility: one function per existential, support inside
+	// the dependency set.
+	for _, y := range f.Exist {
+		fn, ok := c.Funcs[y]
+		if !ok {
+			return fmt.Errorf("cert: no Skolem function for existential %d", y)
+		}
+		sup := supportVars(c.G, fn)
+		for _, v := range sup {
+			if !univ.Has(v) {
+				return fmt.Errorf("cert: function of %d depends on non-universal variable %d", y, v)
+			}
+			if !f.Deps[y].Has(v) {
+				return fmt.Errorf("cert: function of %d depends on %d outside its dependency set %s", y, v, f.Deps[y])
+			}
+		}
+	}
+
+	// Build matrix[y := f_y] in a graph sharing nothing with the solver.
+	h := aig.New()
+	memo := make(map[int32]aig.Ref)
+	fnOf := make(map[cnf.Var]aig.Ref, len(f.Exist))
+	for _, y := range f.Exist {
+		fnOf[y] = c.G.Export(c.Funcs[y], h, memo)
+	}
+	litRef := func(l cnf.Lit) (aig.Ref, error) {
+		v := l.Var()
+		if fn, ok := fnOf[v]; ok {
+			return fn.XorSign(l.Neg()), nil
+		}
+		if univ.Has(v) {
+			return h.Input(v).XorSign(l.Neg()), nil
+		}
+		return 0, fmt.Errorf("cert: matrix uses unquantified variable %d", v)
+	}
+	matrix := aig.True
+	for _, cl := range f.Matrix.Clauses {
+		refs := make([]aig.Ref, len(cl))
+		for i, l := range cl {
+			r, err := litRef(l)
+			if err != nil {
+				return err
+			}
+			refs[i] = r
+		}
+		matrix = h.And(matrix, h.OrN(refs...))
+	}
+
+	// One SAT call: a model of ¬matrix is a universal assignment the
+	// certified functions fail on.
+	sat, model := h.IsSatisfiable(matrix.Not())
+	if !sat {
+		return nil
+	}
+	var parts []string
+	for _, x := range f.Univ {
+		val := 0
+		if model[x] {
+			val = 1
+		}
+		parts = append(parts, fmt.Sprintf("%d=%d", x, val))
+	}
+	return fmt.Errorf("cert: certificate falsified at universal assignment {%s}", strings.Join(parts, ","))
+}
+
+// FromTables converts a table-based Skolem certificate (the iDQ baseline's
+// output format, dqbf.Certificate) into the AIG form this package checks:
+// each table becomes default ⊕ (OR of the minterms whose value differs from
+// the default). Existentials without a table get the constant default. The
+// conversion lets the table-producing and function-producing engines share
+// one checker code path.
+func FromTables(f *dqbf.Formula, tc *dqbf.Certificate) (*Certificate, error) {
+	if tc == nil {
+		return nil, fmt.Errorf("cert: no table certificate")
+	}
+	out := &Certificate{G: aig.New(), Funcs: make(map[cnf.Var]aig.Ref, len(f.Exist))}
+	g := out.G
+	for _, y := range f.Exist {
+		deps := f.Deps[y].Vars()
+		def := tc.Defaults[y]
+		var flips []string
+		for k, v := range tc.Tables[y] {
+			if len(k) != len(deps) {
+				return nil, fmt.Errorf("cert: table key %q for variable %d has wrong arity (deps %v)", k, y, deps)
+			}
+			if v != def {
+				flips = append(flips, k)
+			}
+		}
+		sort.Strings(flips)
+		minterms := make([]aig.Ref, len(flips))
+		for i, k := range flips {
+			lits := make([]aig.Ref, len(deps))
+			for j, d := range deps {
+				lits[j] = g.Input(d).XorSign(k[j] == '0')
+			}
+			minterms[i] = g.AndN(lits...)
+		}
+		out.Funcs[y] = g.OrN(minterms...).XorSign(def)
+	}
+	return out, nil
+}
+
+// Format renders the certificate as human-readable Skolem tables against the
+// formula's dependency sets: one line per existential with the full truth
+// table when the dependency set is small, and a support summary otherwise.
+// It is the shape printed by `hqs -cert` and by dqbffuzz on a rejected
+// certificate.
+func Format(f *dqbf.Formula, c *Certificate) string {
+	const maxTableDeps = 6
+	var b strings.Builder
+	for _, y := range f.Exist {
+		fn, ok := c.Funcs[y]
+		if !ok {
+			fmt.Fprintf(&b, "s %d : <missing>\n", y)
+			continue
+		}
+		deps := f.Deps[y].Vars()
+		fmt.Fprintf(&b, "s %d deps=%v :", y, deps)
+		if len(deps) > maxTableDeps {
+			sup := supportVars(c.G, fn)
+			fmt.Fprintf(&b, " <%d-input function over %v, %d AIG nodes>\n", len(deps), sup, c.G.ConeSize(fn))
+			continue
+		}
+		for bits := 0; bits < 1<<len(deps); bits++ {
+			assign := func(v cnf.Var) bool {
+				for i, d := range deps {
+					if d == v {
+						return bits&(1<<i) != 0
+					}
+				}
+				return false
+			}
+			key := dqbf.ProjectionKey(deps, assign)
+			val := 0
+			if c.G.Eval(fn, assign) {
+				val = 1
+			}
+			if key == "" {
+				fmt.Fprintf(&b, " %d", val)
+			} else {
+				fmt.Fprintf(&b, " %s->%d", key, val)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// supportVars returns the syntactic support of r in ascending order.
+func supportVars(g *aig.Graph, r aig.Ref) []cnf.Var {
+	sup := g.Support(r)
+	out := make([]cnf.Var, 0, len(sup))
+	for v := range sup {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

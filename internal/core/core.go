@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/aig"
 	"repro/internal/budget"
+	"repro/internal/cert"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 	"repro/internal/pipeline"
@@ -104,6 +105,11 @@ type Options struct {
 	NodeLimit int
 	// Timeout bounds wall-clock solving time; 0 means unlimited.
 	Timeout time.Duration
+	// Certify records Skolem reconstruction steps during the solve and, on a
+	// SAT verdict, extracts a per-existential Skolem certificate into
+	// Result.Certificate (see internal/cert). Recording does not perturb the
+	// pass schedule; extraction runs after the verdict.
+	Certify bool
 	// Budget, when non-nil, makes the solve cancellable and budgeted: the
 	// pipeline runner, the MaxSAT elimination-set selection, SAT sweeps, and
 	// the QBF back end (including its final SAT call) poll it and unwind
@@ -157,6 +163,12 @@ type Result struct {
 	Status Status
 	Sat    bool
 	Stats  Stats
+	// Certificate holds the extracted Skolem functions when Options.Certify
+	// was set and the verdict is SAT; CertErr reports an extraction failure
+	// (the verdict itself is unaffected — callers decide whether an
+	// uncertified SAT is acceptable).
+	Certificate *cert.Certificate
+	CertErr     error
 }
 
 // Solver is the HQS DQBF solver.
@@ -219,6 +231,9 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 		Deadline: deadline,
 		Workers:  s.Opt.Workers,
 	}
+	if s.Opt.Certify {
+		st.Cert = cert.NewBuilder()
+	}
 	r := pipeline.NewRunner(st, s.Opt.Trace, "hqs")
 	px := &hqsPipeline{
 		s:        s,
@@ -270,6 +285,12 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 		res.Status = Solved
 		res.Sat = st.Sat
 		res.Stats.DecidedBy = st.DecidedBy
+		// Extraction replays against the original formula, after the verdict
+		// and after every trace event, so certified runs keep bit-identical
+		// pass schedules.
+		if st.Cert != nil && st.Sat {
+			res.Certificate, res.CertErr = st.Cert.Extract(f, st.G)
+		}
 		return res
 	}
 
@@ -323,7 +344,7 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 // ψ ≡ ∀-prefix without x : φ[0/x] ∧ φ[1/x][y'/y for y ∈ E_x], where every
 // existential depending on x is duplicated in the positive cofactor with
 // dependency set D_y ∖ {x}.
-func (s *Solver) eliminateUniversal(g *aig.Graph, work *dqbf.Formula, m aig.Ref, x cnf.Var, nextVar *cnf.Var, st *Stats) aig.Ref {
+func (s *Solver) eliminateUniversal(g *aig.Graph, work *dqbf.Formula, m aig.Ref, x cnf.Var, nextVar *cnf.Var, st *Stats, cb *cert.Builder) aig.Ref {
 	cof0 := g.Cofactor(m, x, false)
 	cof1 := g.Cofactor(m, x, true)
 
@@ -334,6 +355,7 @@ func (s *Solver) eliminateUniversal(g *aig.Graph, work *dqbf.Formula, m aig.Ref,
 			*nextVar++
 		}
 	}
+	cb.RecordExpand(x, ren)
 	cof1 = g.Rename(cof1, ren)
 
 	// Prefix update: drop x; D_y loses x; copies y' join with the same set.

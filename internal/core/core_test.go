@@ -351,7 +351,7 @@ func TestEliminateUniversalSemantics(t *testing.T) {
 		s := New(DefaultOptions())
 		next := cnf.Var(f.Matrix.NumVars + 1)
 		var st Stats
-		m2 := s.eliminateUniversal(g, work, m, 1, &next, &st)
+		m2 := s.eliminateUniversal(g, work, m, 1, &next, &st, nil)
 		// Decide the reduced formula via the QBF/HQS machinery on the AIG:
 		// rebuild a CNF via Tseitin and solve as DQBF.
 		got := solveAIGAsDQBF(t, g, m2, work)

@@ -91,6 +91,7 @@ func (p *preprocessor) detectGates() {
 		for _, i := range clauseIdx {
 			removed[i] = true
 		}
+		p.cert.RecordGate(g.Out, g.OutNeg, g.Kind == GateXor, g.Ins)
 		defined[g.Out] = true
 		for _, l := range g.Ins {
 			if p.f.IsExistential(l.Var()) {

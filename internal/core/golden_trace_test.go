@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/cert"
 	"repro/internal/circuit"
 	"repro/internal/core"
 	"repro/internal/dqbf"
@@ -28,12 +29,13 @@ type goldenLine struct {
 	Changed bool   `json:"changed"`
 }
 
-func goldenTrace(t *testing.T, f *dqbf.Formula) (string, core.Result) {
+func goldenTrace(t *testing.T, f *dqbf.Formula, certify bool) (string, core.Result) {
 	t.Helper()
 	rec := trace.NewRecorder(0)
 	opt := core.DefaultOptions()
 	opt.Trace = rec
 	opt.Workers = 1 // serial sweeps, so the pass schedule is deterministic
+	opt.Certify = certify
 	res := core.New(opt).Solve(f)
 	if res.Status != core.Solved {
 		t.Fatalf("status %v, want solved", res.Status)
@@ -87,11 +89,29 @@ func TestGoldenTraceExample1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, res := goldenTrace(t, f)
+	got, res := goldenTrace(t, f, false)
 	if !res.Sat {
 		t.Errorf("example1 must be SAT")
 	}
 	checkGolden(t, "golden_trace_example1.jsonl", got)
+	certifiedGoldenTrace(t, f, got)
+}
+
+// certifiedGoldenTrace re-solves with certification on and requires the
+// identical pass schedule (extraction must not perturb the pipeline) plus a
+// certificate the independent checker accepts.
+func certifiedGoldenTrace(t *testing.T, f *dqbf.Formula, want string) {
+	t.Helper()
+	got, res := goldenTrace(t, f, true)
+	if got != want {
+		t.Errorf("certified pass schedule diverged from uncertified\n--- certified ---\n%s--- uncertified ---\n%s", got, want)
+	}
+	if res.CertErr != nil {
+		t.Fatalf("certificate extraction failed: %v", res.CertErr)
+	}
+	if err := cert.Check(f, res.Certificate); err != nil {
+		t.Fatalf("certificate rejected: %v", err)
+	}
 }
 
 // TestGoldenTracePECAdder pins the pass schedule on a PEC instance of the
@@ -117,9 +137,10 @@ func TestGoldenTracePECAdder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, res := goldenTrace(t, f)
+	got, res := goldenTrace(t, f, false)
 	if !res.Sat {
 		t.Errorf("correct adder cut must be realizable (SAT)")
 	}
 	checkGolden(t, "golden_trace_pecadder.jsonl", got)
+	certifiedGoldenTrace(t, f, got)
 }

@@ -70,7 +70,7 @@ func (px *hqsPipeline) selectElim() ([]cnf.Var, error) {
 // preprocess is step 1 (CNF-level preprocessing and gate detection).
 func (px *hqsPipeline) preprocess() pipeline.Pass {
 	return pipeline.NewPass("preprocess", func(st *pipeline.State) (pipeline.Result, error) {
-		pr, err := Preprocess(px.work, px.s.Opt.DetectGates)
+		pr, err := PreprocessCert(px.work, px.s.Opt.DetectGates, st.Cert)
 		px.res.Stats.Preprocess = pr
 		if err != nil {
 			return pipeline.Result{}, err
@@ -143,6 +143,7 @@ func (px *hqsPipeline) thm2() pipeline.Pass {
 			if err := st.Stop(); err != nil {
 				return res, err
 			}
+			st.Cert.RecordExists(y, st.Matrix)
 			st.Matrix = st.G.Exists(st.Matrix, y)
 			st.Prefix.Remove(y)
 			px.res.Stats.ExistElims++
@@ -188,7 +189,7 @@ func (px *hqsPipeline) thm1() pipeline.Pass {
 			px.elim = more
 		}
 		copiesBefore := px.res.Stats.CopiesMade
-		st.Matrix = px.s.eliminateUniversal(st.G, px.work, st.Matrix, x, &px.nextVar, &px.res.Stats)
+		st.Matrix = px.s.eliminateUniversal(st.G, px.work, st.Matrix, x, &px.nextVar, &px.res.Stats, st.Cert)
 		px.track()
 		return pipeline.Result{
 			Changed: true,
@@ -210,6 +211,7 @@ func (px *hqsPipeline) qbf() pipeline.Pass {
 		qopt.Deadline = px.deadline
 		qopt.Budget = px.s.Opt.Budget
 		qopt.Trace = px.s.Opt.Trace
+		qopt.Cert = st.Cert
 		if px.s.Opt.Workers != 0 {
 			qopt.SweepOptions.Workers = px.s.Opt.Workers
 		}

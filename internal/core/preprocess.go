@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/cert"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 )
@@ -72,6 +73,9 @@ type preprocessor struct {
 	// to their replacement literal.
 	assigned    map[cnf.Var]bool
 	substituted map[cnf.Var]cnf.Lit
+	// cert collects Skolem reconstruction steps (nil-safe; nil outside
+	// certified solves).
+	cert *cert.Builder
 }
 
 // Preprocess applies the paper's CNF-level preprocessing pipeline in
@@ -79,10 +83,18 @@ type preprocessor struct {
 // and equivalent-variable substitution; finally Tseitin gate detection
 // (Section III-C). The formula is modified in place.
 func Preprocess(f *dqbf.Formula, detectGates bool) (PreprocessResult, error) {
+	return PreprocessCert(f, detectGates, nil)
+}
+
+// PreprocessCert is Preprocess with certificate recording: existential unit
+// assignments, equivalence substitutions and detected gates each record one
+// reconstruction step into cb (nil-safe, so uncertified callers pass nil).
+func PreprocessCert(f *dqbf.Formula, detectGates bool, cb *cert.Builder) (PreprocessResult, error) {
 	p := &preprocessor{
 		f:           f,
 		assigned:    make(map[cnf.Var]bool),
 		substituted: make(map[cnf.Var]cnf.Lit),
+		cert:        cb,
 	}
 	// Normalize: drop tautological clauses and duplicate literals up front —
 	// universal reduction and unit propagation assume normalized clauses.
@@ -196,7 +208,10 @@ func (p *preprocessor) propagateUnits() (bool, error) {
 }
 
 // assignAndSimplify fixes v := val in the matrix and drops v from the prefix.
+// Only existentials reach here (universal units decide the formula), so the
+// assignment is a constant Skolem step.
 func (p *preprocessor) assignAndSimplify(v cnf.Var, val bool) {
+	p.cert.RecordConst(v, val)
 	p.assigned[v] = val
 	p.removeFromPrefix(v)
 	m := p.f.Matrix
@@ -404,8 +419,11 @@ func (p *preprocessor) substExistUniv(y cnf.Var, x cnf.Lit) bool {
 }
 
 // substitute replaces every occurrence of v by literal t and removes v from
-// the prefix.
+// the prefix. Only existentials are ever substituted (applyEquivalence
+// decides the two-universal case instead), so this is a Skolem step: f_v is
+// whatever t's function resolves to at replay time.
 func (p *preprocessor) substitute(v cnf.Var, t cnf.Lit) {
+	p.cert.RecordSubst(v, t)
 	p.substituted[v] = t
 	p.removeFromPrefix(v)
 	m := p.f.Matrix

@@ -1,0 +1,40 @@
+package dqbf
+
+import (
+	"math/rand"
+
+	"repro/internal/cnf"
+)
+
+// RandomFormula generates a small random DQBF: universals 1..nUniv,
+// existentials nUniv+1..nUniv+nExist each depending on an independent random
+// subset of the universals, and nClauses clauses of one to three uniform
+// random literals. It is the pinned-seed instance generator shared by the
+// dqbffuzz cross-checker and the metamorphic/certificate test suites, so a
+// failure in either reproduces from (seed, instance index) alone.
+func RandomFormula(rng *rand.Rand, nUniv, nExist, nClauses int) *Formula {
+	f := New()
+	for i := 1; i <= nUniv; i++ {
+		f.AddUniversal(cnf.Var(i))
+	}
+	for i := 0; i < nExist; i++ {
+		y := cnf.Var(nUniv + i + 1)
+		var deps []cnf.Var
+		for _, x := range f.Univ {
+			if rng.Intn(2) == 0 {
+				deps = append(deps, x)
+			}
+		}
+		f.AddExistential(y, deps...)
+	}
+	nv := nUniv + nExist
+	for i := 0; i < nClauses; i++ {
+		k := 1 + rng.Intn(3)
+		c := make(cnf.Clause, 0, k)
+		for j := 0; j < k; j++ {
+			c = append(c, cnf.NewLit(cnf.Var(1+rng.Intn(nv)), rng.Intn(2) == 0))
+		}
+		f.Matrix.Clauses = append(f.Matrix.Clauses, c)
+	}
+	return f
+}

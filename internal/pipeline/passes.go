@@ -61,9 +61,11 @@ func (UnitPurePass) Run(st *State) (Result, error) {
 			}
 			switch {
 			case exist && p.PosUnit:
+				st.Cert.RecordConst(v, true)
 				st.Matrix = st.G.Cofactor(st.Matrix, v, true)
 				units++
 			case exist && p.NegUnit:
+				st.Cert.RecordConst(v, false)
 				st.Matrix = st.G.Cofactor(st.Matrix, v, false)
 				units++
 			case univ && (p.PosUnit || p.NegUnit):
@@ -73,9 +75,11 @@ func (UnitPurePass) Run(st *State) (Result, error) {
 				res.Changed = true
 				return res, nil
 			case exist && p.PosPure:
+				st.Cert.RecordConst(v, true)
 				st.Matrix = st.G.Cofactor(st.Matrix, v, true)
 				pures++
 			case exist && p.NegPure:
+				st.Cert.RecordConst(v, false)
 				st.Matrix = st.G.Cofactor(st.Matrix, v, false)
 				pures++
 			case univ && p.PosPure:

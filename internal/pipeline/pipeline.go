@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/aig"
 	"repro/internal/budget"
+	"repro/internal/cert"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 	"repro/internal/faults"
@@ -75,6 +76,10 @@ type State struct {
 	// Workers overrides SAT worker-pool sizes of sweeping passes (0 keeps
 	// the pass default).
 	Workers int
+	// Cert, when non-nil, collects Skolem reconstruction steps from every
+	// formula-changing pass. All Builder recorders are nil-safe, so passes
+	// record unconditionally.
+	Cert *cert.Builder
 
 	// Decided, Sat and DecidedBy carry the verdict once a pass settles the
 	// formula.

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/aig"
 	"repro/internal/budget"
+	"repro/internal/cert"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 	"repro/internal/faults"
@@ -64,6 +65,10 @@ type Options struct {
 	// Trace, when non-nil, receives one structured event per executed
 	// pipeline pass.
 	Trace trace.Sink
+	// Cert, when non-nil, records Skolem reconstruction steps: existential
+	// block eliminations and the final SAT model (universal eliminations and
+	// constant collapses need no step; see internal/cert).
+	Cert *cert.Builder
 }
 
 // DefaultOptions mirror the configuration used in the paper's experiments.
@@ -210,6 +215,7 @@ func (s *Solver) Solve(prefix []dqbf.Block, matrix aig.Ref) (result bool, err er
 		Prefix:   bp,
 		Budget:   s.Opt.Budget,
 		Deadline: s.Opt.Deadline,
+		Cert:     s.Opt.Cert,
 	}
 	r := pipeline.NewRunner(st, s.Opt.Trace, "qbf")
 	sweep := pipeline.NewSweepPass(s.Opt.SweepThreshold, s.Opt.SweepOptions)
@@ -248,12 +254,18 @@ func (s *Solver) Solve(prefix []dqbf.Block, matrix aig.Ref) (result bool, err er
 		// Outermost existential block: one SAT call, under the budget so a
 		// cancellation interrupts the CDCL search itself.
 		s.Stat.FinalSATRun = true
-		sat, _, err := s.G.IsSatisfiableBudget(st.Matrix, s.Opt.Budget)
+		sat, model, err := s.G.IsSatisfiableBudget(st.Matrix, s.Opt.Budget)
 		if err != nil {
 			if stop := st.Stop(); stop != nil {
 				return pipeline.Result{}, stop
 			}
 			return pipeline.Result{}, err
+		}
+		if sat {
+			// The remaining block is outermost-existential with empty
+			// dependency sets, so the model's constants are legal Skolem
+			// functions.
+			st.Cert.RecordModel(model)
 		}
 		st.Decide(sat, "finalsat")
 		return pipeline.Result{Changed: true}, nil
@@ -264,6 +276,7 @@ func (s *Solver) Solve(prefix []dqbf.Block, matrix aig.Ref) (result bool, err er
 		inner.vars = removeVar(inner.vars, v)
 		c := pipeline.Counters{}
 		if inner.exist {
+			st.Cert.RecordExists(v, st.Matrix)
 			st.Matrix = s.G.Exists(st.Matrix, v)
 			s.Stat.ExistElims++
 			c["exist"] = 1

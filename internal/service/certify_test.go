@@ -1,0 +1,55 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/budget"
+)
+
+// TestCertifyHQSValidCertificate: with certification on, an HQS SAT verdict
+// only reaches the caller after the extracted Skolem certificate passes the
+// independent checker.
+func TestCertifyHQSValidCertificate(t *testing.T) {
+	SetCertifyHQS(true)
+	defer SetCertifyHQS(false)
+	out, err := Run(paperExample1(), EngineHQS, budget.New(budget.Limits{}))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out.Verdict != VerdictSat {
+		t.Fatalf("verdict = %v, want SAT with a validated certificate (error: %s)", out.Verdict, out.Error)
+	}
+}
+
+// TestCertifyHQSRejectionIsError: a fault injected at the service.certify
+// point must turn the certified HQS SAT into ERROR — the same policy the
+// iDQ table certificates already get.
+func TestCertifyHQSRejectionIsError(t *testing.T) {
+	SetCertifyHQS(true)
+	defer SetCertifyHQS(false)
+	withFaults(t, "service.certify:error", 1)
+	out, err := Run(paperExample1(), EngineHQS, budget.New(budget.Limits{}))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out.Verdict != VerdictError {
+		t.Fatalf("verdict = %v, want ERROR on certificate rejection", out.Verdict)
+	}
+	if !strings.Contains(out.Error, "certificate") {
+		t.Fatalf("error text = %q, want certificate rejection", out.Error)
+	}
+}
+
+// TestCertifyOffSkipsCheck: without the flag the HQS path must not consult
+// the certificate checker at all — an armed certify fault must not fire.
+func TestCertifyOffSkipsCheck(t *testing.T) {
+	withFaults(t, "service.certify:error", 1)
+	out, err := Run(paperExample1(), EngineHQS, budget.New(budget.Limits{}))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if out.Verdict != VerdictSat {
+		t.Fatalf("verdict = %v, want SAT (uncertified HQS must not hit the certify point)", out.Verdict)
+	}
+}

@@ -20,8 +20,10 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync/atomic"
 
 	"repro/internal/budget"
+	"repro/internal/cert"
 	"repro/internal/core"
 	"repro/internal/dqbf"
 	"repro/internal/faults"
@@ -208,16 +210,39 @@ func reasonFromErr(err error) string {
 	}
 }
 
+// certifyHQS, when set, makes every HQS run extract a Skolem certificate and
+// has the service verify it before a SAT verdict is reported (the same
+// trust policy the iDQ engine always gets). Atomic because portfolio mode
+// runs HQS arms on concurrent goroutines.
+var certifyHQS atomic.Bool
+
+// SetCertifyHQS toggles certificate-checked HQS SAT verdicts service-wide
+// (hqs -cert / hqsd -certify).
+func SetCertifyHQS(on bool) { certifyHQS.Store(on) }
+
 func runHQS(f *dqbf.Formula, b *budget.Budget, sink trace.Sink) Outcome {
 	opt := core.DefaultOptions()
 	opt.Budget = b
 	opt.Trace = sink
+	opt.Certify = certifyHQS.Load()
 	res := core.New(opt).Solve(f)
 	out := Outcome{Engine: EngineHQS}
 	switch res.Status {
 	case core.Solved:
 		out.Reason = "solved"
 		if res.Sat {
+			// Under -certify a SAT verdict must survive the independent
+			// checker, exactly like the iDQ engine's table certificates.
+			if opt.Certify {
+				if err := verifySkolem(f, res.Certificate, res.CertErr); err != nil {
+					return Outcome{
+						Verdict: VerdictError,
+						Engine:  EngineHQS,
+						Reason:  "error",
+						Error:   fmt.Sprintf("skolem certificate rejected: %v", err),
+					}
+				}
+			}
 			out.Verdict = VerdictSat
 		} else {
 			out.Verdict = VerdictUnsat
@@ -266,9 +291,11 @@ func runIDQ(f *dqbf.Formula, b *budget.Budget) Outcome {
 	return out
 }
 
-// verifyCertificate checks a Skolem certificate against the formula (one
-// independent SAT call). A nil certificate passes — engines without
-// certificate support report bare verdicts.
+// verifyCertificate checks a table-based Skolem certificate against the
+// formula by lifting it into the shared AIG checker (internal/cert) — the
+// same code path that validates HQS-extracted certificates. A nil
+// certificate passes — engines without certificate support report bare
+// verdicts.
 func verifyCertificate(f *dqbf.Formula, c *dqbf.Certificate) error {
 	if err := faults.Fire(faults.CertVerify); err != nil {
 		return err
@@ -276,7 +303,25 @@ func verifyCertificate(f *dqbf.Formula, c *dqbf.Certificate) error {
 	if c == nil {
 		return nil
 	}
-	return c.Verify(f)
+	ac, err := cert.FromTables(f, c)
+	if err != nil {
+		return err
+	}
+	return cert.Check(f, ac)
+}
+
+// verifySkolem checks an HQS-extracted certificate (one independent SAT
+// call), surfacing an extraction failure or a missing certificate as a
+// verification failure. It shares the service.certify fault point with the
+// table path.
+func verifySkolem(f *dqbf.Formula, c *cert.Certificate, extractErr error) error {
+	if err := faults.Fire(faults.CertVerify); err != nil {
+		return err
+	}
+	if extractErr != nil {
+		return fmt.Errorf("extraction failed: %w", extractErr)
+	}
+	return cert.Check(f, c)
 }
 
 // runPortfolio races HQS and iDQ on child budgets of b. The first definitive
