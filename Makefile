@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check fuzz-smoke fuzz-native chaos serve-smoke bench bench-sat bench-sweep baseline
+.PHONY: build test race vet check fuzz-smoke fuzz-native chaos serve-smoke bench bench-sat bench-sweep baseline bench-gate bench-gate-quick bench-compare
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,7 @@ vet:
 # fault-injection plumbing they share, the daemon's HTTP handlers, and the
 # certificate checker the portfolio arms consult concurrently).
 race:
-	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/service ./internal/faults ./internal/leakcheck ./cmd/hqsd
+	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/service ./internal/faults ./internal/leakcheck ./cmd/hqsd
 
 # Differential fuzzing smoke run: 200 random instances, every solver
 # configuration against the brute-force reference, with Skolem certificate
@@ -43,11 +43,12 @@ chaos:
 check:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/service ./internal/faults ./internal/leakcheck ./cmd/hqsd
+	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/service ./internal/faults ./internal/leakcheck ./cmd/hqsd
 	$(GO) run ./cmd/dqbffuzz -n 200 -seed 1 -cert
 	$(GO) test ./internal/dqbf -run '^$$' -fuzz FuzzDQDIMACSReader -fuzztime 10s
 	$(GO) test ./internal/aig -run '^$$' -fuzz FuzzAIGCompose -fuzztime 10s
 	$(GO) test -race -run 'TestChaos|TestDrainRace' ./internal/service
+	$(MAKE) bench-gate-quick
 
 # End-to-end service smoke test: build hqsd, start it, solve the example
 # instance over HTTP in portfolio mode, drain gracefully via SIGTERM.
@@ -68,4 +69,24 @@ bench:
 
 # Regenerate the committed benchmark baseline on the three PEC families.
 baseline:
-	$(GO) run ./cmd/dqbfbench -family adder,bitcell,pec_xor -count 6 -baseline BENCH_pr1.json
+	$(GO) run ./cmd/dqbfbench -family adder,bitcell,pec_xor -count 6 -baseline BENCH_pr6.json
+
+# Newest committed baseline by PR number. `sort -V` (version sort), not make's
+# lexical $(lastword): pr10 must beat pr6.
+LATEST_BASELINE = $$(ls BENCH_pr*.json | sort -V | tail -1)
+
+# Regression gate: rerun the baseline campaign and fail if any family solves
+# fewer instances or its wall time grows >10% over the newest committed
+# BENCH_prN.json. Run on the baseline host; thresholds assume an idle machine.
+bench-gate:
+	$(GO) run ./cmd/dqbfbench -family adder,bitcell,pec_xor -count 6 -gate $(LATEST_BASELINE)
+
+# Quick-mode smoke for `make check`: same campaign, generous +100% threshold —
+# catches solved-count losses and order-of-magnitude slowdowns without CI
+# timing noise failing the build.
+bench-gate-quick:
+	$(GO) run ./cmd/dqbfbench -family adder,bitcell,pec_xor -count 6 -gate $(LATEST_BASELINE) -gate-threshold 1.0
+
+# Diff two committed baselines: make bench-compare OLD=BENCH_pr1.json NEW=BENCH_pr6.json
+bench-compare:
+	$(GO) run ./cmd/dqbfbench -compare $(OLD),$(NEW)

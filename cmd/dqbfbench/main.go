@@ -12,6 +12,8 @@
 //	dqbfbench -stats                   # print the in-text statistics
 //	dqbfbench -ablation elimset        # design-choice ablation
 //	dqbfbench -export dir/             # write instances as .dqdimacs files
+//	dqbfbench -gate BENCH_pr1.json     # run + fail on regression vs baseline
+//	dqbfbench -compare a.json,b.json   # diff two committed baselines
 package main
 
 import (
@@ -43,8 +45,37 @@ func main() {
 		scaling    = flag.Bool("scaling", false, "run a width-scaling study for the selected family (default adder)")
 		extensions = flag.Bool("extensions", false, "include the beyond-paper families (mult, mux)")
 		export     = flag.String("export", "", "write the generated instances as DQDIMACS files into this directory")
+		compare    = flag.String("compare", "", "OLD,NEW: compare two committed baseline JSON files and exit")
+		gate       = flag.String("gate", "", "run the campaign and gate it against this committed baseline JSON (exit 1 on regression)")
+		gateThresh = flag.Float64("gate-threshold", 0.10, "allowed per-family wall-time growth for -gate/-compare (0.10 = +10%)")
 	)
 	flag.Parse()
+
+	if *compare != "" {
+		parts := strings.Split(*compare, ",")
+		if len(parts) != 2 {
+			fatal(fmt.Errorf("-compare wants OLD,NEW, got %q", *compare))
+		}
+		old, err := bench.ReadBaseline(strings.TrimSpace(parts[0]))
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := bench.ReadBaseline(strings.TrimSpace(parts[1]))
+		if err != nil {
+			fatal(err)
+		}
+		cmp := bench.Compare(old, cur)
+		fmt.Print(bench.FormatCompare(cmp))
+		if fails := cmp.Gate(*gateThresh); len(fails) > 0 {
+			fmt.Println("\nregressions:")
+			for _, f := range fails {
+				fmt.Println("  " + f)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("\ngate: PASS")
+		return
+	}
 
 	gen := bench.GenOptions{Count: *count, Seed: *seed, MaxWidth: *width}
 	families := bench.Families
@@ -149,6 +180,24 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("\nBaseline written to %s\n", *baseline)
+	}
+
+	if *gate != "" {
+		old, err := bench.ReadBaseline(*gate)
+		if err != nil {
+			fatal(err)
+		}
+		cmp := bench.Compare(old, bench.ComputeBaseline(campaign, opt))
+		fmt.Printf("\nRegression gate vs %s (threshold +%.0f%%):\n\n", *gate, *gateThresh*100)
+		fmt.Print(bench.FormatCompare(cmp))
+		if fails := cmp.Gate(*gateThresh); len(fails) > 0 {
+			fmt.Println("\nregressions:")
+			for _, f := range fails {
+				fmt.Println("  " + f)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("\ngate: PASS")
 	}
 
 	if *stats {

@@ -159,6 +159,11 @@ func main() {
 			sw.SatCalls, sw.Candidates, sw.Merged, sw.Workers)
 		fmt.Fprintf(os.Stderr, "c sweep arena     %d bytes peak, %d compactions\n",
 			sw.ArenaBytes, sw.Compactions)
+		or := st.Oracle
+		fmt.Fprintf(os.Stderr, "c oracle          %d queries (%d incremental, %d rebuilds), %d scopes\n",
+			or.Queries, or.Incremental, or.Rebuilds, or.Scopes)
+		fmt.Fprintf(os.Stderr, "c oracle reuse    %d learnts retained, %d encoded nodes, %d arena bytes peak\n",
+			or.LearntsRetained, or.EncodedNodes, or.ArenaBytesHW)
 		fmt.Fprintf(os.Stderr, "c gates detected  %d\n", len(st.Preprocess.Gates))
 	}
 	switch res.Status {

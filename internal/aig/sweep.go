@@ -56,6 +56,32 @@ func (g *Graph) edgeSim(e Ref) uint64 {
 	return w
 }
 
+// SweepOracle is a persistent equivalence oracle queried by one sweep
+// worker. Implementations (internal/oracle) keep a long-lived incremental
+// SAT solver plus Tseitin memo alive across sweep rounds, so candidate
+// checks are assumption queries against an already-loaded solver instead of
+// fresh per-sweep solver builds. An oracle is NOT safe for concurrent use;
+// the pool hands each index to exactly one worker.
+type SweepOracle interface {
+	// ProveEquiv reports whether the functions rooted at lhs and rhs are
+	// equivalent, spending at most conflictBudget conflicts per SAT query
+	// (<=0 unlimited) and honoring bud. Budget exhaustion or errors yield
+	// proven=false (sound: unproven pairs are simply not merged). satCalls
+	// is the number of SAT queries issued (0..2).
+	ProveEquiv(lhs, rhs Ref, conflictBudget int64, bud *budget.Budget) (proven bool, satCalls int)
+	// Footprint returns the oracle solver's current packed-arena size and
+	// cumulative arena compaction count.
+	Footprint() (arenaBytes int, compactions int64)
+}
+
+// SweepOraclePool supplies one persistent SweepOracle per worker index.
+type SweepOraclePool interface {
+	// WorkerOracle returns the oracle owned by worker i, creating it on
+	// first use. It must be safe to call from concurrent workers (with
+	// distinct i); the returned oracle itself is single-goroutine.
+	WorkerOracle(i int) SweepOracle
+}
+
 // SweepStats reports what a sweep did.
 type SweepStats struct {
 	Candidates int // simulation-equivalent pairs tried
@@ -127,6 +153,14 @@ type SweepOptions struct {
 	// exhausts ConflictBudget or the Deadline (pair verdicts are independent
 	// of each other; only budget exhaustion is history-sensitive).
 	Workers int
+	// Oracles, when non-nil, replaces the per-sweep private solvers: worker
+	// i checks its candidates with assumption queries against the pool's
+	// persistent oracle i (see internal/oracle), so Tseitin encodings and
+	// learned clauses survive across sweep rounds instead of being rebuilt
+	// per call. The shared cone encoding is skipped entirely in this mode.
+	// Striding is unchanged, so the candidate order per worker stays
+	// deterministic.
+	Oracles SweepOraclePool
 }
 
 // DefaultSweepOptions are a reasonable tradeoff for the solver loops.
@@ -150,11 +184,14 @@ func (o SweepOptions) poolSize(candidates int) int {
 }
 
 // sweepCand is one equivalence candidate: prove lhs ≡ rhs (both are edges
-// into the swept cone) and, if proven, redirect node to target.
+// into the swept cone) and, if proven, redirect node to target. lhs/rhs are
+// literals in the shared cone encoding (fresh-solver mode); lhsRef/rhsRef
+// are the same edges as graph refs (oracle mode).
 type sweepCand struct {
-	node     int32 // the node to be merged away
-	target   Ref   // replacement edge installed on success
-	lhs, rhs cnf.Lit
+	node           int32 // the node to be merged away
+	target         Ref   // replacement edge installed on success
+	lhs, rhs       cnf.Lit
+	lhsRef, rhsRef Ref
 }
 
 // Sweep performs FRAIG-style reduction on the cone of r: nodes with equal
@@ -195,21 +232,70 @@ func (g *Graph) Sweep(r Ref, opt SweepOptions) (Ref, SweepStats) {
 	if opt.SimWords <= 0 {
 		opt.SimWords = 8
 	}
-	// signatures[n] holds opt.SimWords simulation words per node.
-	sigs := make(map[int32][]uint64, len(cone))
-	for _, n := range cone {
-		sigs[n] = make([]uint64, 0, opt.SimWords)
+	var stop atomic.Bool
+	expired := func() bool {
+		if opt.Deadline.IsZero() && opt.Budget == nil {
+			return false
+		}
+		if stop.Load() {
+			return true
+		}
+		if (!opt.Deadline.IsZero() && time.Now().After(opt.Deadline)) || opt.Budget.Stopped() {
+			stop.Store(true)
+			return true
+		}
+		return false
 	}
+
+	// Multi-word patterns, generated word-major over the sorted inputs so the
+	// stream matches the historical one-word-per-round simulation bit for bit
+	// (signatures, buckets, and candidate order are unchanged).
 	seed := rng(0x2545f4914f6cdd1d)
-	patterns := make(map[cnf.Var]uint64, len(vars))
+	patterns := make(map[cnf.Var][]uint64, len(vars))
+	for _, v := range vars {
+		patterns[v] = make([]uint64, opt.SimWords)
+	}
 	for w := 0; w < opt.SimWords; w++ {
 		for _, v := range vars {
-			patterns[v] = seed.next()
+			patterns[v][w] = seed.next()
 		}
-		g.Simulate(r, patterns)
-		for _, n := range cone {
-			sigs[n] = append(sigs[n], g.nodes[n].sim)
+	}
+	// One pass over the cone computes all opt.SimWords signature words per
+	// node at once, instead of opt.SimWords full cone traversals. Deadline
+	// and Budget are polled here too, so a huge cone cancels promptly
+	// mid-simulation rather than only once the candidate loop starts.
+	sigs := make(map[int32][]uint64, len(cone))
+	zeroSig := make([]uint64, opt.SimWords)
+	edgeSig := func(e Ref) ([]uint64, bool) {
+		if e.node() == 0 {
+			return zeroSig, e.Compl()
 		}
+		return sigs[e.node()], e.Compl()
+	}
+	for i, n := range cone {
+		if i&255 == 0 && expired() {
+			// Cancelled mid-simulation: leave the cone unswept (equivalent).
+			return r, stats
+		}
+		nd := &g.nodes[n]
+		sig := make([]uint64, opt.SimWords)
+		if nd.v != 0 {
+			copy(sig, patterns[nd.v])
+		} else {
+			a, ac := edgeSig(nd.f0)
+			b, bc := edgeSig(nd.f1)
+			for w := range sig {
+				aw, bw := a[w], b[w]
+				if ac {
+					aw = ^aw
+				}
+				if bc {
+					bw = ^bw
+				}
+				sig[w] = aw & bw
+			}
+		}
+		sigs[n] = sig
 	}
 
 	// Group nodes by normalized signature: if word 0 has bit 0 set, use the
@@ -245,8 +331,17 @@ func (g *Graph) Sweep(r Ref, opt SweepOptions) (Ref, SweepStats) {
 	})
 
 	// One immutable Tseitin encoding of the cone, shared by every worker.
-	formula, nodeLit := g.coneCNF(r, 0)
+	// In oracle mode the persistent oracles already hold (or lazily extend)
+	// their own encodings, so the shared one is skipped entirely.
+	var formula *cnf.Formula
+	var nodeLit map[int32]cnf.Lit
+	if opt.Oracles == nil {
+		formula, nodeLit = g.coneCNF(r, 0)
+	}
 	litOf := func(e Ref) cnf.Lit {
+		if nodeLit == nil {
+			return 0
+		}
 		return nodeLit[e.node()].XorSign(e.Compl())
 	}
 
@@ -271,6 +366,8 @@ func (g *Graph) Sweep(r Ref, opt SweepOptions) (Ref, SweepStats) {
 				target: repRef.XorSign(invN),
 				lhs:    litOf(repRef),
 				rhs:    litOf(nRef),
+				lhsRef: repRef,
+				rhsRef: nRef,
 			})
 		}
 	}
@@ -281,20 +378,6 @@ func (g *Graph) Sweep(r Ref, opt SweepOptions) (Ref, SweepStats) {
 	workers := opt.poolSize(len(cands))
 	stats.Workers = workers
 	proven := make([]bool, len(cands))
-	var stop atomic.Bool
-	expired := func() bool {
-		if opt.Deadline.IsZero() && opt.Budget == nil {
-			return false
-		}
-		if stop.Load() {
-			return true
-		}
-		if (!opt.Deadline.IsZero() && time.Now().After(opt.Deadline)) || opt.Budget.Stopped() {
-			stop.Store(true)
-			return true
-		}
-		return false
-	}
 
 	// runWorker checks cands[w], cands[w+workers], ... on a private solver.
 	// Static striding keeps each worker's query sequence — and therefore any
@@ -311,16 +394,32 @@ func (g *Graph) Sweep(r Ref, opt SweepOptions) (Ref, SweepStats) {
 				st.Panics++
 			}
 		}()
-		solver := sat.New()
-		solver.AddFormula(formula)
-		solver.ConflictBudget = opt.ConflictBudget
-		solver.Budget = opt.Budget
+		var solver *sat.Solver
+		var orc SweepOracle
+		var compact0 int64
+		if opt.Oracles != nil {
+			orc = opt.Oracles.WorkerOracle(w)
+			_, compact0 = orc.Footprint()
+		} else {
+			solver = sat.New()
+			solver.AddFormula(formula)
+			solver.ConflictBudget = opt.ConflictBudget
+			solver.Budget = opt.Budget
+		}
 		for i := w; i < len(cands); i += workers {
 			if st.Candidates%8 == 0 && expired() {
 				break
 			}
 			st.Candidates++
 			c := cands[i]
+			if orc != nil {
+				ok, calls := orc.ProveEquiv(c.lhsRef, c.rhsRef, opt.ConflictBudget, opt.Budget)
+				st.SatCalls += calls
+				if ok {
+					proven[i] = true
+				}
+				continue
+			}
 			// lhs≠rhs ⇔ (lhs ∧ ¬rhs) ∨ (¬lhs ∧ rhs): query both branches
 			// via assumptions.
 			st.SatCalls++
@@ -335,8 +434,14 @@ func (g *Graph) Sweep(r Ref, opt SweepOptions) (Ref, SweepStats) {
 			}
 			proven[i] = true
 		}
-		st.ArenaBytes = solver.ArenaBytes()
-		st.Compactions = solver.Stats.Compactions
+		if orc != nil {
+			ab, compact1 := orc.Footprint()
+			st.ArenaBytes = ab
+			st.Compactions = compact1 - compact0
+		} else {
+			st.ArenaBytes = solver.ArenaBytes()
+			st.Compactions = solver.Stats.Compactions
+		}
 		return st
 	}
 

@@ -20,6 +20,12 @@ func NewCNFBuilder(g *Graph, s *sat.Solver) *CNFBuilder {
 	return &CNFBuilder{g: g, s: s, nodeVar: make(map[int32]cnf.Var)}
 }
 
+// EncodedNodes returns how many AIG nodes currently have SAT encodings in
+// this builder. The map only grows: the AIG is append-only, so a Tseitin
+// definition once pushed stays valid forever, and successive Lit calls add
+// only the delta of newly reachable cone nodes.
+func (b *CNFBuilder) EncodedNodes() int { return len(b.nodeVar) }
+
 // InputSATVar returns the SAT variable used for AIG input variable v,
 // allocating the encoding lazily. It allows callers to constrain inputs.
 func (b *CNFBuilder) InputSATVar(v cnf.Var) cnf.Var {

@@ -34,6 +34,7 @@ func AblationVariants() []AblationVariant {
 		mk("unitpure=off", func(o *core.Options) { o.UnitPure = false; o.QBF.UnitPure = false }),
 		mk("sweep=off", func(o *core.Options) { o.SweepThreshold = 0; o.QBF.SweepThreshold = 0 }),
 		mk("preprocess=off", func(o *core.Options) { o.Preprocess = false; o.DetectGates = false }),
+		mk("oracle=fresh", func(o *core.Options) { o.FreshOracle = true }),
 	}
 }
 
@@ -45,6 +46,11 @@ type AblationRow struct {
 	Memouts      int
 	TotalSeconds float64 // over solved instances
 	PeakNodesSum int
+	// OracleQueries / OracleIncremental sum the persistent-oracle reuse
+	// counters over every instance: how many SAT queries the variant issued
+	// and how many of them reused a live solver instead of rebuilding one.
+	OracleQueries     int64
+	OracleIncremental int64
 	// PassSeconds is the per-pass wall-time breakdown summed over every
 	// instance, keyed "stage/pass" ("hqs/thm1", "qbf/sweep", ...) — where a
 	// variant's time goes, not just how much of it.
@@ -77,6 +83,8 @@ func RunAblation(instances []Instance, variants []AblationVariant, timeout time.
 				row.Memouts++
 			}
 			row.PeakNodesSum += res.Stats.PeakAIGNodes
+			row.OracleQueries += res.Stats.Oracle.Queries
+			row.OracleIncremental += res.Stats.Oracle.Incremental
 			for _, s := range trace.Summarize(rec.Events()) {
 				row.PassSeconds[s.Stage+"/"+s.Pass] += s.Wall.Seconds()
 			}
@@ -89,12 +97,13 @@ func RunAblation(instances []Instance, variants []AblationVariant, timeout time.
 // FormatAblation renders the ablation rows as a table.
 func FormatAblation(rows []AblationRow, nInstances int) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-18s %8s %4s %4s %12s %12s\n",
-		"variant", "solved", "TO", "MO", "time [s]", "peak nodes")
-	b.WriteString(strings.Repeat("-", 64) + "\n")
+	fmt.Fprintf(&b, "%-18s %8s %4s %4s %12s %12s %16s\n",
+		"variant", "solved", "TO", "MO", "time [s]", "peak nodes", "oracle q (incr)")
+	b.WriteString(strings.Repeat("-", 81) + "\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-18s %5d/%-3d %4d %4d %12.2f %12d\n",
-			r.Name, r.Solved, nInstances, r.Timeouts, r.Memouts, r.TotalSeconds, r.PeakNodesSum)
+		fmt.Fprintf(&b, "%-18s %5d/%-3d %4d %4d %12.2f %12d %9d (%d)\n",
+			r.Name, r.Solved, nInstances, r.Timeouts, r.Memouts, r.TotalSeconds, r.PeakNodesSum,
+			r.OracleQueries, r.OracleIncremental)
 	}
 	return b.String()
 }

@@ -18,6 +18,10 @@ type BaselineRow struct {
 	TotalSec  float64 `json:"total_seconds"`
 	MeanSec   float64 `json:"mean_seconds"`
 	MaxSec    float64 `json:"max_seconds"`
+
+	// Persistent-oracle reuse per family (HQS rows only; omitted for iDQ).
+	OracleQueries     int64 `json:"oracle_queries,omitempty"`
+	OracleIncremental int64 `json:"oracle_incremental,omitempty"`
 }
 
 // Baseline is a machine-readable snapshot of a campaign, committed to the
@@ -33,6 +37,11 @@ type Baseline struct {
 	SweepMerged    int   `json:"sweep_merged"`
 	ArenaPeakBytes int   `json:"arena_peak_bytes"`
 	Compactions    int64 `json:"arena_compactions"`
+
+	// Aggregated persistent-oracle reuse across all HQS instances.
+	OracleQueries     int64 `json:"oracle_queries"`
+	OracleIncremental int64 `json:"oracle_incremental"`
+	OracleRebuilds    int64 `json:"oracle_rebuilds"`
 }
 
 // ComputeBaseline folds a campaign into baseline rows, one per (family,
@@ -65,6 +74,8 @@ func ComputeBaseline(c *Campaign, opt RunOptions) Baseline {
 		if rr.Seconds > row.MaxSec {
 			row.MaxSec = rr.Seconds
 		}
+		row.OracleQueries += rr.OracleQueries
+		row.OracleIncremental += rr.OracleIncremental
 	}
 	b := Baseline{
 		CreatedAt: time.Now().UTC().Format(time.RFC3339),
@@ -78,6 +89,9 @@ func ComputeBaseline(c *Campaign, opt RunOptions) Baseline {
 		b.SweepSatCalls += h.SweepSatCalls
 		b.SweepMerged += h.SweepMerged
 		b.Compactions += h.Compactions
+		b.OracleQueries += h.OracleQueries
+		b.OracleIncremental += h.OracleIncremental
+		b.OracleRebuilds += h.OracleRebuilds
 		if h.ArenaPeakBytes > b.ArenaPeakBytes {
 			b.ArenaPeakBytes = h.ArenaPeakBytes
 		}

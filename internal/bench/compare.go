@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ReadBaseline parses a committed BENCH_pr*.json snapshot.
+func ReadBaseline(path string) (Baseline, error) {
+	var b Baseline
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return b, err
+	}
+	if err := json.Unmarshal(data, &b); err != nil {
+		return b, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// CompareRow is the delta of one (family, solver) cell between two baselines.
+type CompareRow struct {
+	Family string
+	Solver string
+	// Solved counts in old/new; a drop is always a gate failure.
+	OldSolved, NewSolved int
+	// Total wall time over the cell's instances in old/new.
+	OldSec, NewSec float64
+	// Ratio is NewSec/OldSec (1 when OldSec is below the noise floor).
+	Ratio float64
+}
+
+// Comparison is a family-by-family delta between two baseline snapshots.
+type Comparison struct {
+	Rows []CompareRow
+	// NewOnly / OldOnly name cells present in one snapshot but not the other
+	// (family sets changed between the two campaigns); they never gate.
+	NewOnly, OldOnly []string
+}
+
+// minGateSec is the per-cell noise floor: cells whose old total wall time is
+// under this never fail the time gate (a 10% regression of 5 ms is scheduler
+// jitter, not a perf regression).
+const minGateSec = 0.05
+
+// Compare aligns two baselines by (family, solver) cell.
+func Compare(old, new Baseline) Comparison {
+	type key struct{ family, solver string }
+	oldRows := make(map[key]BaselineRow, len(old.Rows))
+	for _, r := range old.Rows {
+		oldRows[key{r.Family, r.Solver}] = r
+	}
+	var c Comparison
+	seen := make(map[key]bool, len(new.Rows))
+	for _, nr := range new.Rows {
+		k := key{nr.Family, nr.Solver}
+		seen[k] = true
+		or, ok := oldRows[k]
+		if !ok {
+			c.NewOnly = append(c.NewOnly, nr.Family+"/"+nr.Solver)
+			continue
+		}
+		row := CompareRow{
+			Family:    nr.Family,
+			Solver:    nr.Solver,
+			OldSolved: or.Solved,
+			NewSolved: nr.Solved,
+			OldSec:    or.TotalSec,
+			NewSec:    nr.TotalSec,
+			Ratio:     1,
+		}
+		if or.TotalSec >= minGateSec {
+			row.Ratio = nr.TotalSec / or.TotalSec
+		}
+		c.Rows = append(c.Rows, row)
+	}
+	for _, or := range old.Rows {
+		if !seen[key{or.Family, or.Solver}] {
+			c.OldOnly = append(c.OldOnly, or.Family+"/"+or.Solver)
+		}
+	}
+	return c
+}
+
+// Gate returns the regressions the comparison shows: any cell that solves
+// fewer instances than before, or whose wall time grew by more than the
+// threshold (0.10 = fail above 110% of the old time) while the old time was
+// above the noise floor. An empty slice means the gate passes.
+func (c Comparison) Gate(threshold float64) []string {
+	var fails []string
+	for _, r := range c.Rows {
+		if r.NewSolved < r.OldSolved {
+			fails = append(fails, fmt.Sprintf("%s/%s: solved %d -> %d",
+				r.Family, r.Solver, r.OldSolved, r.NewSolved))
+		}
+		if r.Ratio > 1+threshold {
+			fails = append(fails, fmt.Sprintf("%s/%s: wall time %.3fs -> %.3fs (%.0f%% of old, threshold %.0f%%)",
+				r.Family, r.Solver, r.OldSec, r.NewSec, r.Ratio*100, (1+threshold)*100))
+		}
+	}
+	return fails
+}
+
+// FormatCompare renders the comparison as a table.
+func FormatCompare(c Comparison) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-4s %14s %14s %8s\n", "family", "slvr", "old [s] (slvd)", "new [s] (slvd)", "ratio")
+	b.WriteString(strings.Repeat("-", 56) + "\n")
+	for _, r := range c.Rows {
+		fmt.Fprintf(&b, "%-12s %-4s %10.3f (%d) %10.3f (%d) %7.2fx\n",
+			r.Family, r.Solver, r.OldSec, r.OldSolved, r.NewSec, r.NewSolved, r.Ratio)
+	}
+	for _, s := range c.NewOnly {
+		fmt.Fprintf(&b, "%-12s only in new baseline\n", s)
+	}
+	for _, s := range c.OldOnly {
+		fmt.Fprintf(&b, "%-12s only in old baseline\n", s)
+	}
+	return b.String()
+}

@@ -60,6 +60,11 @@ type RunResult struct {
 	SweepMerged    int
 	ArenaPeakBytes int
 	Compactions    int64
+
+	// Persistent-oracle reuse counters (zero for iDQ and with FreshOracle).
+	OracleQueries     int64
+	OracleIncremental int64
+	OracleRebuilds    int64
 }
 
 // RunOptions configure a benchmark campaign.
@@ -108,6 +113,10 @@ func RunHQS(inst Instance, opt RunOptions) RunResult {
 		SweepMerged:     sw.Merged,
 		ArenaPeakBytes:  sw.ArenaBytes,
 		Compactions:     sw.Compactions,
+
+		OracleQueries:     res.Stats.Oracle.Queries,
+		OracleIncremental: res.Stats.Oracle.Incremental,
+		OracleRebuilds:    res.Stats.Oracle.Rebuilds,
 	}
 	switch res.Status {
 	case core.Solved:

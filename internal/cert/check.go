@@ -8,6 +8,7 @@ import (
 	"repro/internal/aig"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
+	"repro/internal/oracle"
 )
 
 // Check validates the certificate against the original formula without
@@ -71,8 +72,14 @@ func Check(f *dqbf.Formula, c *Certificate) error {
 	}
 
 	// One SAT call: a model of ¬matrix is a universal assignment the
-	// certified functions fail on.
-	sat, model := h.IsSatisfiable(matrix.Not())
+	// certified functions fail on. The query goes through the oracle layer
+	// (fresh instance — the checker must share no state with the solver) so
+	// it uses the packed-arena substrate and the oracle.query fault seam
+	// like every other oracle consumer.
+	sat, model, err := oracle.New(h).IsSatisfiable(matrix.Not(), nil)
+	if err != nil {
+		return fmt.Errorf("cert: checker oracle failed: %w", err)
+	}
 	if !sat {
 		return nil
 	}

@@ -40,6 +40,7 @@ import (
 	"repro/internal/cert"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
+	"repro/internal/oracle"
 	"repro/internal/pipeline"
 	"repro/internal/qbf"
 	"repro/internal/trace"
@@ -110,6 +111,12 @@ type Options struct {
 	// Result.Certificate (see internal/cert). Recording does not perturb the
 	// pass schedule; extraction runs after the verdict.
 	Certify bool
+	// FreshOracle disables the persistent incremental SAT oracle pool: every
+	// consumer (sweeps, elimination-set MaxSAT, the final check) builds a
+	// fresh solver per query, as before the pool existed. Kept for
+	// differential testing and A/B benchmarking; verdicts are identical
+	// either way.
+	FreshOracle bool
 	// Budget, when non-nil, makes the solve cancellable and budgeted: the
 	// pipeline runner, the MaxSAT elimination-set selection, SAT sweeps, and
 	// the QBF back end (including its final SAT call) poll it and unwind
@@ -156,6 +163,10 @@ type Stats struct {
 	PeakAIGNodes int
 	QBF          qbf.Stats
 	DecidedBy    string // "preprocess", "constant", "qbf", "finalsat"
+
+	// Oracle aggregates the reuse counters of the run's persistent
+	// incremental SAT pool (zero when Options.FreshOracle disabled it).
+	Oracle oracle.Stats
 }
 
 // Result is the outcome of a Solve call.
@@ -254,6 +265,9 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 		n, sst := px.sweep.Stats()
 		res.Stats.Sweeps = n
 		res.Stats.Sweep = sst
+		if st.Oracle != nil {
+			res.Stats.Oracle = st.Oracle.Stats()
+		}
 	}()
 
 	// run executes one pass, converting pipeline stop errors into the

@@ -49,13 +49,20 @@ func SelectEliminationSet(f *dqbf.Formula, strategy ElimStrategy) ([]cnf.Var, er
 // budget: the MaxSAT strategy's oracle polls b and the call fails with an
 // error wrapping maxsat.ErrBudget when stopped.
 func SelectEliminationSetBudget(f *dqbf.Formula, strategy ElimStrategy, b *budget.Budget) ([]cnf.Var, error) {
+	return selectEliminationSet(f, strategy, b, nil)
+}
+
+// selectEliminationSet additionally threads a persistent MaxSAT backend
+// into the MaxSAT strategy (nil keeps the fresh-solver path); selections of
+// one pipeline run then share learned clauses across strengthening steps.
+func selectEliminationSet(f *dqbf.Formula, strategy ElimStrategy, b *budget.Budget, be *maxsat.Backend) ([]cnf.Var, error) {
 	cycles := dqbf.BinaryCycles(f)
 	if len(cycles) == 0 {
 		return nil, nil
 	}
 	switch strategy {
 	case ElimMaxSAT:
-		return selectMaxSAT(f, cycles, b)
+		return selectMaxSAT(f, cycles, b, be)
 	case ElimGreedy:
 		return selectGreedy(f, cycles)
 	case ElimAll:
@@ -69,9 +76,10 @@ func SelectEliminationSetBudget(f *dqbf.Formula, strategy ElimStrategy, b *budge
 // a selector variable x̂ per universal x (soft clause ¬x̂); for each binary
 // cycle {y,y'} the hard constraint (⋀_{x∈D_y∖D_y'} x̂) ∨ (⋀_{x∈D_y'∖D_y} x̂),
 // Tseitin-encoded with one auxiliary variable per conjunction.
-func selectMaxSAT(f *dqbf.Formula, cycles [][2]cnf.Var, b *budget.Budget) ([]cnf.Var, error) {
+func selectMaxSAT(f *dqbf.Formula, cycles [][2]cnf.Var, b *budget.Budget, be *maxsat.Backend) ([]cnf.Var, error) {
 	m := maxsat.New(0)
 	m.Budget = b
+	m.Backend = be
 	sel := make(map[cnf.Var]cnf.Var) // universal -> selector
 	selOf := func(x cnf.Var) cnf.Lit {
 		v, ok := sel[x]

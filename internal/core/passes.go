@@ -9,6 +9,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 	"repro/internal/maxsat"
+	"repro/internal/oracle"
 	"repro/internal/pipeline"
 	"repro/internal/qbf"
 )
@@ -56,8 +57,15 @@ func (px *hqsPipeline) track() {
 
 // selectElim runs the elimination-set selection, mapping a budget stop onto
 // the pipeline's cancellation error (the driver refines it via the budget).
+// With a persistent oracle pool, successive selections share one guarded
+// MaxSAT backend (the dependency-cycle structure persists as the formula
+// shrinks, so learned clauses carry over between strengthening steps).
 func (px *hqsPipeline) selectElim() ([]cnf.Var, error) {
-	elim, err := SelectEliminationSetBudget(px.work, px.s.Opt.Strategy, px.s.Opt.Budget)
+	var be *maxsat.Backend
+	if px.st.Oracle != nil {
+		be = px.st.Oracle.MaxSATBackend()
+	}
+	elim, err := selectEliminationSet(px.work, px.s.Opt.Strategy, px.s.Opt.Budget, be)
 	if err != nil {
 		if errors.Is(err, maxsat.ErrBudget) {
 			return nil, pipeline.ErrCancelled
@@ -100,6 +108,12 @@ func (px *hqsPipeline) build() pipeline.Pass {
 			g.NodeLimit = nc
 		}
 		st.G = g
+		// The persistent oracle pool is born with the graph: it owns every
+		// long-lived SAT instance of this run (sweep workers, MaxSAT
+		// backend, final check) and dies with the solve.
+		if !px.s.Opt.FreshOracle {
+			st.Oracle = oracle.NewPool(g)
+		}
 		st.Matrix = BuildMatrix(g, px.work.Matrix, px.res.Stats.Preprocess.Gates)
 		px.sweep.Reset(g.ConeSize(st.Matrix))
 		px.track()
@@ -212,6 +226,7 @@ func (px *hqsPipeline) qbf() pipeline.Pass {
 		qopt.Budget = px.s.Opt.Budget
 		qopt.Trace = px.s.Opt.Trace
 		qopt.Cert = st.Cert
+		qopt.Oracle = st.Oracle
 		if px.s.Opt.Workers != 0 {
 			qopt.SweepOptions.Workers = px.s.Opt.Workers
 		}

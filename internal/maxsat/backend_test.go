@@ -1,0 +1,116 @@
+package maxsat
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// TestBackendMatchesFresh solves a stream of random instances twice — fresh
+// solver per instance vs one shared persistent Backend — and demands
+// identical optima. Sharing one guarded solver across instances is exactly
+// how the pipeline reuses the elimination-set MaxSAT across strengthening
+// steps, so any cross-instance state leak (an unretracted guard, a var-region
+// overlap) shows up here as a cost mismatch.
+func TestBackendMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(20150309))
+	be := NewBackend()
+	for iter := 0; iter < 120; iter++ {
+		n := 3 + rng.Intn(5)
+		var hard, soft []cnf.Clause
+		nh := rng.Intn(5)
+		ns := 1 + rng.Intn(6)
+		mk := func() cnf.Clause {
+			k := 1 + rng.Intn(3)
+			c := make(cnf.Clause, 0, k)
+			for j := 0; j < k; j++ {
+				c = append(c, cnf.NewLit(cnf.Var(1+rng.Intn(n)), rng.Intn(2) == 0))
+			}
+			return c
+		}
+		for i := 0; i < nh; i++ {
+			hard = append(hard, mk())
+		}
+		for i := 0; i < ns; i++ {
+			soft = append(soft, mk())
+		}
+		build := func() *Solver {
+			m := New(n)
+			for _, c := range hard {
+				m.AddHard(c...)
+			}
+			for _, c := range soft {
+				m.AddSoft(c...)
+			}
+			return m
+		}
+
+		fresh := build()
+		fres, ferr := fresh.Solve()
+
+		shared := build()
+		shared.Backend = be
+		bres, berr := shared.Solve()
+
+		if (ferr == nil) != (berr == nil) || (ferr == ErrUnsat) != (berr == ErrUnsat) {
+			t.Fatalf("iter %d: fresh err %v, backend err %v", iter, ferr, berr)
+		}
+		if ferr != nil {
+			continue
+		}
+		if fres.Cost != bres.Cost {
+			t.Fatalf("iter %d: fresh cost %d, backend cost %d (hard=%v soft=%v)",
+				iter, fres.Cost, bres.Cost, hard, soft)
+		}
+		// The backend's model must be optimal for THIS instance, not a relic
+		// of an earlier scope.
+		for _, c := range hard {
+			if !bres.Model.EvalClause(c) {
+				t.Fatalf("iter %d: backend model violates a hard clause", iter)
+			}
+		}
+		viol := 0
+		for _, c := range soft {
+			if !bres.Model.EvalClause(c) {
+				viol++
+			}
+		}
+		if viol != bres.Cost {
+			t.Fatalf("iter %d: backend model violates %d softs, reported %d", iter, viol, bres.Cost)
+		}
+	}
+	if be.Scopes < 100 {
+		t.Fatalf("backend opened %d scopes; expected one per solved instance", be.Scopes)
+	}
+	if be.Queries <= be.Scopes {
+		t.Fatalf("backend issued %d queries over %d scopes; linear search should issue several per scope",
+			be.Queries, be.Scopes)
+	}
+}
+
+// TestBackendUnsatThenSat checks an UNSAT instance leaves the shared solver
+// usable: the scope retraction must erase the contradiction.
+func TestBackendUnsatThenSat(t *testing.T) {
+	be := NewBackend()
+
+	m := New(1)
+	m.Backend = be
+	m.AddHard(lit(1))
+	m.AddHard(lit(-1))
+	if _, err := m.Solve(); err != ErrUnsat {
+		t.Fatalf("want ErrUnsat, got %v", err)
+	}
+
+	m = New(1)
+	m.Backend = be
+	m.AddHard(lit(1))
+	m.AddSoft(lit(-1))
+	res, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost != 1 || !res.Model.Get(1) {
+		t.Fatalf("cost %d model %v; want cost 1 with x1=true", res.Cost, res.Model)
+	}
+}

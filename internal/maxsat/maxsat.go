@@ -44,6 +44,13 @@ type Solver struct {
 	// Budget, when non-nil, bounds and cancels the UNSAT→SAT linear search:
 	// it is checked between oracle calls and inside each CDCL search.
 	Budget *budget.Budget
+
+	// Backend, when non-nil, runs the search on a persistent shared solver
+	// instead of a fresh sat.New(): this instance's clauses are loaded into
+	// an activation-literal scope (retracted when the search finishes) and
+	// learned clauses survive into the next instance solved on the same
+	// backend. Results are identical to the fresh path.
+	Backend *Backend
 }
 
 // New returns an empty instance over n variables.
@@ -95,11 +102,30 @@ func (m *Solver) Solve() (Result, error) {
 	if err := faults.Fire(faults.MaxSATSolve); err != nil {
 		return Result{}, fmt.Errorf("maxsat: %w", err)
 	}
+	if m.Backend != nil {
+		return m.Backend.solve(m)
+	}
 	s := sat.New()
 	s.Budget = m.Budget
 	s.EnsureVars(m.numVars)
+	return m.run(s, 0, nil, rawAdder{s})
+}
+
+// run executes the hard-clause load and the UNSAT→SAT linear search on s.
+// Instance variables are offset by base (0 on a fresh solver), the scope
+// assumptions are appended to every oracle query, and clauses go through
+// add — which, on a shared backend, guards each one with the scope's
+// activation literal. With base 0, an empty scope, and a raw adder this is
+// byte-identical to the historical fresh-solver search.
+func (m *Solver) run(s *sat.Solver, base int, scope []cnf.Lit, add clauseAdder) (Result, error) {
+	solve := func(assumps []cnf.Lit) sat.Status {
+		if len(scope) > 0 {
+			assumps = append(append(make([]cnf.Lit, 0, len(assumps)+len(scope)), assumps...), scope...)
+		}
+		return s.SolveAssuming(assumps)
+	}
 	for _, c := range m.hard {
-		if !s.AddClause(c...) {
+		if !add.AddClause(m.shiftClause(c, base)...) {
 			return Result{}, ErrUnsat
 		}
 	}
@@ -107,21 +133,21 @@ func (m *Solver) Solve() (Result, error) {
 	// (or at least permitted to be).
 	relax := make([]cnf.Lit, len(m.soft))
 	for i, c := range m.soft {
-		r := s.NewVar()
+		r := add.NewVar()
 		relax[i] = cnf.PosLit(r)
-		cc := append(c.Clone(), cnf.PosLit(r))
-		if !s.AddClause(cc...) {
+		cc := append(m.shiftClause(c, base), cnf.PosLit(r))
+		if !add.AddClause(cc...) {
 			return Result{}, ErrUnsat
 		}
 	}
 	if len(m.soft) == 0 {
-		switch st := s.Solve(); {
+		switch st := solve(nil); {
 		case st == sat.Unknown:
 			return Result{}, m.budgetErr()
 		case st != sat.Sat:
 			return Result{}, ErrUnsat
 		}
-		return Result{Cost: 0, Model: m.truncateModel(s.Model())}, nil
+		return Result{Cost: 0, Model: m.truncateModel(s.Model(), base)}, nil
 	}
 
 	// First try cost 0: assume all relaxation literals false.
@@ -129,46 +155,58 @@ func (m *Solver) Solve() (Result, error) {
 	for i, r := range relax {
 		neg[i] = r.Not()
 	}
-	switch s.SolveAssuming(neg) {
+	switch solve(neg) {
 	case sat.Sat:
-		return Result{Cost: 0, Model: m.truncateModel(s.Model())}, nil
+		return Result{Cost: 0, Model: m.truncateModel(s.Model(), base)}, nil
 	case sat.Unknown:
 		return Result{}, m.budgetErr()
 	}
 	// Hard clauses alone satisfiable?
-	switch st := s.Solve(); {
+	switch st := solve(nil); {
 	case st == sat.Unknown:
 		return Result{}, m.budgetErr()
 	case st != sat.Sat:
 		return Result{}, ErrUnsat
 	}
-	best := m.countViolated(s.Model())
+	best := m.countViolated(s.Model(), base)
 
 	// Sequential counter over the relaxation variables; tighten k upward
 	// from 1 until SAT (we know cost >= 1 here and best is an upper bound).
-	enc := newSeqCounter(s, relax)
+	enc := newSeqCounter(add, relax)
 	for k := 1; k < best; k++ {
 		if m.Budget.Stopped() {
 			return Result{}, m.budgetErr()
 		}
-		assumps := enc.atMost(k)
-		switch s.SolveAssuming(assumps) {
+		switch solve(enc.atMost(k)) {
 		case sat.Sat:
-			return Result{Cost: m.countViolated(s.Model()), Model: m.truncateModel(s.Model())}, nil
+			return Result{Cost: m.countViolated(s.Model(), base), Model: m.truncateModel(s.Model(), base)}, nil
 		case sat.Unknown:
 			return Result{}, m.budgetErr()
 		}
 	}
 	// Optimum equals the upper bound.
-	assumps := enc.atMost(best)
-	switch s.SolveAssuming(assumps) {
+	switch solve(enc.atMost(best)) {
 	case sat.Unknown:
 		return Result{}, m.budgetErr()
 	case sat.Sat:
 	default:
 		return Result{}, errors.New("maxsat: internal error, bound unreachable")
 	}
-	return Result{Cost: best, Model: m.truncateModel(s.Model())}, nil
+	return Result{Cost: best, Model: m.truncateModel(s.Model(), base)}, nil
+}
+
+// shiftClause maps a clause over this instance's variables into the solver
+// region starting at base. With base 0 it just clones (AddClause stores a
+// copy anyway, and the relaxation append below must not alias m.soft).
+func (m *Solver) shiftClause(c cnf.Clause, base int) cnf.Clause {
+	out := c.Clone()
+	if base == 0 {
+		return out
+	}
+	for i, l := range out {
+		out[i] = cnf.NewLit(l.Var()+cnf.Var(base), l.Neg())
+	}
+	return out
 }
 
 // budgetErr wraps the budget's stop reason in ErrBudget; if the oracle
@@ -180,12 +218,16 @@ func (m *Solver) budgetErr() error {
 	return errors.New("maxsat: oracle returned unknown")
 }
 
-func (m *Solver) countViolated(model cnf.Assignment) int {
+func (m *Solver) countViolated(model cnf.Assignment, base int) int {
 	n := 0
 	for _, c := range m.soft {
 		sat := false
 		for _, l := range c {
-			if model.Lit(l) {
+			ll := l
+			if base != 0 {
+				ll = cnf.NewLit(l.Var()+cnf.Var(base), l.Neg())
+			}
+			if model.Lit(ll) {
 				sat = true
 				break
 			}
@@ -197,12 +239,41 @@ func (m *Solver) countViolated(model cnf.Assignment) int {
 	return n
 }
 
-func (m *Solver) truncateModel(model cnf.Assignment) cnf.Assignment {
+func (m *Solver) truncateModel(model cnf.Assignment, base int) cnf.Assignment {
 	out := cnf.NewAssignment(m.numVars)
 	for v := 1; v <= m.numVars; v++ {
-		out.Set(cnf.Var(v), model.Get(cnf.Var(v)))
+		out.Set(cnf.Var(v), model.Get(cnf.Var(v+base)))
 	}
 	return out
+}
+
+// clauseAdder is where the search's derived clauses (relaxed softs, the
+// cardinality counter) go: straight into a fresh solver, or guarded by the
+// scope's activation literal on a shared backend.
+type clauseAdder interface {
+	NewVar() cnf.Var
+	AddClause(lits ...cnf.Lit) bool
+}
+
+// rawAdder adds clauses unguarded (fresh-solver mode).
+type rawAdder struct{ s *sat.Solver }
+
+func (a rawAdder) NewVar() cnf.Var             { return a.s.NewVar() }
+func (a rawAdder) AddClause(l ...cnf.Lit) bool { return a.s.AddClause(l...) }
+
+// guardedAdder appends ¬act to every clause so the whole batch is
+// retractable with the single top-level unit ¬act (backend mode).
+type guardedAdder struct {
+	s        *sat.Solver
+	inactive cnf.Lit // the scope's ¬act
+}
+
+func (a guardedAdder) NewVar() cnf.Var { return a.s.NewVar() }
+func (a guardedAdder) AddClause(l ...cnf.Lit) bool {
+	g := make([]cnf.Lit, 0, len(l)+1)
+	g = append(g, l...)
+	g = append(g, a.inactive)
+	return a.s.AddClause(g...)
 }
 
 // seqCounter is a sequential-counter (LTSeq) cardinality encoding over a set
@@ -210,12 +281,12 @@ func (m *Solver) truncateModel(model cnf.Assignment) cnf.Assignment {
 // inputs are true. Bounds are activated through assumptions so that the same
 // encoding serves every k.
 type seqCounter struct {
-	s      *sat.Solver
+	s      clauseAdder
 	inputs []cnf.Lit
 	sum    [][]cnf.Lit // sum[i][j]
 }
 
-func newSeqCounter(s *sat.Solver, inputs []cnf.Lit) *seqCounter {
+func newSeqCounter(s clauseAdder, inputs []cnf.Lit) *seqCounter {
 	n := len(inputs)
 	e := &seqCounter{s: s, inputs: inputs, sum: make([][]cnf.Lit, n)}
 	for i := 0; i < n; i++ {

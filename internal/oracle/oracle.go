@@ -1,0 +1,260 @@
+// Package oracle provides the pipeline's persistent incremental SAT
+// substrate: one long-lived CDCL solver plus Tseitin builder per consumer,
+// kept alive across passes so that encodings and learned clauses are reused
+// instead of rebuilt for every query.
+//
+// Historically every oracle consumer — each sweep round, each MaxSAT
+// elimination-set step, the final SAT check, the certificate checker —
+// called sat.New() and re-exported its cone from scratch. The AIG is
+// append-only (nodes are never deleted or rewritten), so a Tseitin
+// definition once pushed is a permanently valid fact: an Oracle therefore
+// pushes only the delta of newly reachable cone nodes per query
+// (CNFBuilder's node→var memo persists) and poses every question as an
+// assumption query, never as a retractable unit clause. Learned clauses
+// survive between queries, bounded by the solver's retention policy
+// (sat.Solver.KeepLearnts), and all clauses — original and learned — live
+// in the solver's single packed arena.
+//
+// Constraints that ARE transient (the scratch clauses of one MaxSAT
+// strengthening step, say) use the activation-literal protocol: OpenScope
+// allocates a fresh activation literal act, AddScoped guards each scratch
+// clause as (c ∨ ¬act), queries assume act, and CloseScope retracts the
+// whole scope with the top-level unit ¬act — a constant-time retraction
+// that permanently satisfies every guarded clause without touching the
+// solver.
+package oracle
+
+import (
+	"sync/atomic"
+
+	"repro/internal/aig"
+	"repro/internal/budget"
+	"repro/internal/cnf"
+	"repro/internal/faults"
+	"repro/internal/sat"
+)
+
+// QueryPoint is the fault-injection seam fired on every persistent-oracle
+// query, alongside the lower-level sat.solve point. Injecting here models a
+// failing long-lived oracle specifically: consumers must degrade exactly as
+// they would on budget exhaustion (sweeps leave pairs unproven, final
+// checks surface the error).
+var QueryPoint = faults.Point("oracle.query")
+
+func init() { faults.Register(QueryPoint) }
+
+// keepLearnts is the learned-clause retention floor for persistent oracle
+// solvers: queries within a sweep round are closely related, so a much
+// larger floor than the per-call default (100) pays for itself.
+const keepLearnts = 2000
+
+// Stats counts reuse across one or more persistent oracles.
+type Stats struct {
+	Queries     int64 // SAT queries answered
+	Incremental int64 // queries answered on an already-loaded solver
+	Rebuilds    int64 // fresh solver instantiations (one per oracle lifetime)
+	Scopes      int64 // activation-literal scopes opened and retracted
+
+	EncodedNodes    int64 // AIG nodes Tseitin-encoded (delta pushes, summed)
+	LearntsRetained int64 // peak learned clauses alive at query entry
+	ArenaBytesHW    int64 // peak packed-arena bytes of any one solver
+}
+
+// Add accumulates o into s (sums for flows, maxima for high-water marks).
+func (s *Stats) Add(o Stats) {
+	s.Queries += o.Queries
+	s.Incremental += o.Incremental
+	s.Rebuilds += o.Rebuilds
+	s.Scopes += o.Scopes
+	s.EncodedNodes += o.EncodedNodes
+	if o.LearntsRetained > s.LearntsRetained {
+		s.LearntsRetained = o.LearntsRetained
+	}
+	if o.ArenaBytesHW > s.ArenaBytesHW {
+		s.ArenaBytesHW = o.ArenaBytesHW
+	}
+}
+
+// Counters flattens the stats into the generic counter map consumed by
+// structured trace events and the ablation table.
+func (s Stats) Counters() map[string]int64 {
+	if s.Queries == 0 && s.Rebuilds == 0 {
+		return nil
+	}
+	return map[string]int64{
+		"oracle_queries":     s.Queries,
+		"oracle_incremental": s.Incremental,
+		"oracle_rebuilds":    s.Rebuilds,
+		"oracle_learnts":     s.LearntsRetained,
+		"oracle_arena_hw":    s.ArenaBytesHW,
+	}
+}
+
+// Process-global counters, for stats surfaces (hqsd /stats) that aggregate
+// across many concurrent solver runs and cannot reach into per-run pools.
+var (
+	globalQueries     atomic.Int64
+	globalIncremental atomic.Int64
+	globalRebuilds    atomic.Int64
+)
+
+// GlobalStats returns the process-wide oracle counters: total queries,
+// queries answered incrementally, and solver rebuilds, since process start.
+func GlobalStats() (queries, incremental, rebuilds int64) {
+	return globalQueries.Load(), globalIncremental.Load(), globalRebuilds.Load()
+}
+
+// Oracle is one persistent incremental SAT instance over a single AIG. It
+// is single-goroutine: each consumer (a sweep worker, the final check)
+// owns its oracle exclusively. Use a Pool to hand oracles to workers.
+type Oracle struct {
+	g     *aig.Graph
+	s     *sat.Solver
+	b     *aig.CNFBuilder
+	stats Stats
+}
+
+// New returns a fresh oracle over g. This is the only place a solver is
+// built; every subsequent query on the oracle is incremental.
+func New(g *aig.Graph) *Oracle {
+	s := sat.New()
+	s.KeepLearnts = keepLearnts
+	o := &Oracle{g: g, s: s, b: aig.NewCNFBuilder(g, s)}
+	o.stats.Rebuilds = 1
+	globalRebuilds.Add(1)
+	return o
+}
+
+// Stats returns a snapshot of the oracle's reuse counters.
+func (o *Oracle) Stats() Stats {
+	st := o.stats
+	st.EncodedNodes = int64(o.b.EncodedNodes())
+	return st
+}
+
+// Solver exposes the underlying persistent solver (tests, stats).
+func (o *Oracle) Solver() *sat.Solver { return o.s }
+
+// Lit Tseitin-encodes the cone of r (delta only) and returns its literal.
+func (o *Oracle) Lit(r aig.Ref) cnf.Lit { return o.b.Lit(r) }
+
+// query runs one assumption query against the persistent solver, metering
+// the reuse counters and firing the oracle.query fault point.
+func (o *Oracle) query(assumps []cnf.Lit, conflictBudget int64, bud *budget.Budget) (sat.Status, error) {
+	if err := faults.Fire(QueryPoint); err != nil {
+		return sat.Unknown, err
+	}
+	if o.stats.Queries > 0 {
+		o.stats.Incremental++
+		globalIncremental.Add(1)
+	}
+	o.stats.Queries++
+	globalQueries.Add(1)
+	if n := int64(o.s.NumLearnts()); n > o.stats.LearntsRetained {
+		o.stats.LearntsRetained = n
+	}
+	o.s.ConflictBudget = conflictBudget
+	o.s.Budget = bud
+	st, err := o.s.SolveErr(assumps)
+	if ab := int64(o.s.ArenaBytes()); ab > o.stats.ArenaBytesHW {
+		o.stats.ArenaBytesHW = ab
+	}
+	return st, err
+}
+
+// QueryAssuming runs a raw assumption query. After Unsat, FailedAssumptions
+// returns the responsible subset (conflict-set extraction works across
+// scope retractions: a retracted scope's activation literal shows up
+// negated in the set when it is the reason).
+func (o *Oracle) QueryAssuming(assumps []cnf.Lit, bud *budget.Budget) (sat.Status, error) {
+	return o.query(assumps, 0, bud)
+}
+
+// FailedAssumptions returns, after an Unsat query, a subset of the negated
+// assumptions sufficient for unsatisfiability.
+func (o *Oracle) FailedAssumptions() []cnf.Lit { return o.s.FailedAssumptions() }
+
+// Model returns the assignment found by the last Sat query.
+func (o *Oracle) Model() cnf.Assignment { return o.s.Model() }
+
+// IsSatisfiable checks satisfiability of the function rooted at r against
+// the persistent solver. The root is an assumption, not a unit clause, so
+// the same oracle answers for any root later. On sat it returns a
+// satisfying assignment of r's support variables, like
+// aig.IsSatisfiableBudget.
+func (o *Oracle) IsSatisfiable(r aig.Ref, bud *budget.Budget) (bool, map[cnf.Var]bool, error) {
+	if r == aig.True {
+		return true, map[cnf.Var]bool{}, nil
+	}
+	if r == aig.False {
+		return false, nil, nil
+	}
+	l := o.b.Lit(r)
+	st, err := o.query([]cnf.Lit{l}, 0, bud)
+	if st == sat.Unknown {
+		if err == nil {
+			err = sat.ErrBudget
+		}
+		return false, nil, err
+	}
+	if st != sat.Sat {
+		return false, nil, nil
+	}
+	m := o.s.Model()
+	out := make(map[cnf.Var]bool)
+	for v := range o.g.Support(r) {
+		out[v] = m.Get(o.b.InputSATVar(v))
+	}
+	return true, out, nil
+}
+
+// ProveEquiv implements aig.SweepOracle: it reports whether the functions
+// rooted at lhs and rhs are equivalent, by refuting both directions of
+// lhs≠rhs with assumption queries. Budget exhaustion and injected faults
+// yield false (unproven), which sweeping treats soundly by not merging.
+func (o *Oracle) ProveEquiv(lhs, rhs aig.Ref, conflictBudget int64, bud *budget.Budget) (bool, int) {
+	ll := o.b.Lit(lhs)
+	rl := o.b.Lit(rhs)
+	calls := 1
+	s1, err := o.query([]cnf.Lit{ll, rl.Not()}, conflictBudget, bud)
+	if err != nil || s1 != sat.Unsat {
+		return false, calls
+	}
+	calls++
+	s2, err := o.query([]cnf.Lit{ll.Not(), rl}, conflictBudget, bud)
+	if err != nil || s2 != sat.Unsat {
+		return false, calls
+	}
+	return true, calls
+}
+
+// Footprint implements aig.SweepOracle.
+func (o *Oracle) Footprint() (arenaBytes int, compactions int64) {
+	return o.s.ArenaBytes(), o.s.Stats.Compactions
+}
+
+// OpenScope allocates an activation literal for a batch of retractable
+// clauses. The literal's phase is pinned to false so that, once the scope
+// is closed, branching never wastes time re-trying it.
+func (o *Oracle) OpenScope() cnf.Lit {
+	act := cnf.PosLit(o.s.NewVar())
+	o.s.SetPhase(act.Var(), false)
+	o.stats.Scopes++
+	return act
+}
+
+// AddScoped adds a clause active only while the scope literal act is
+// assumed: the stored clause is (lits ∨ ¬act).
+func (o *Oracle) AddScoped(act cnf.Lit, lits ...cnf.Lit) bool {
+	guarded := make([]cnf.Lit, 0, len(lits)+1)
+	guarded = append(guarded, lits...)
+	guarded = append(guarded, act.Not())
+	return o.s.AddClause(guarded...)
+}
+
+// CloseScope retracts every clause guarded by act, in constant time, by
+// asserting ¬act at the top level. The guarded clauses become permanently
+// satisfied; the solver is never rebuilt.
+func (o *Oracle) CloseScope(act cnf.Lit) bool {
+	return o.s.AddClause(act.Not())
+}

@@ -1,0 +1,110 @@
+package oracle
+
+import (
+	"sync"
+
+	"repro/internal/aig"
+	"repro/internal/maxsat"
+)
+
+// Pool owns every persistent SAT instance of one pipeline run over one AIG:
+// the main oracle (final SAT check, certificate-style queries), one oracle
+// per sweep worker, and the guarded MaxSAT backend used by the
+// elimination-set selections. It is created by the core build pass, lives
+// on pipeline.State for the lifetime of the solve, and is shared with the
+// QBF backend (which operates on the same graph).
+//
+// Oracles are created lazily: a run that never sweeps never pays for worker
+// oracles. The pool's accessors are goroutine-safe; the returned oracles
+// are single-goroutine (each sweep worker uses exclusively its own index).
+type Pool struct {
+	g *aig.Graph
+
+	mu      sync.Mutex
+	main    *Oracle
+	workers []*Oracle
+	mx      *maxsat.Backend
+}
+
+// NewPool returns an empty pool over g.
+func NewPool(g *aig.Graph) *Pool { return &Pool{g: g} }
+
+// Main returns the pool's main oracle, creating it on first use.
+func (p *Pool) Main() *Oracle {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.main == nil {
+		p.main = New(p.g)
+	}
+	return p.main
+}
+
+// WorkerOracle implements aig.SweepOraclePool: worker i always receives
+// pool oracle i, so the candidate striding — and any budget-exhaustion
+// history — stays deterministic for a fixed worker count.
+func (p *Pool) WorkerOracle(i int) aig.SweepOracle {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for len(p.workers) <= i {
+		p.workers = append(p.workers, nil)
+	}
+	if p.workers[i] == nil {
+		p.workers[i] = New(p.g)
+	}
+	return p.workers[i]
+}
+
+// MaxSATBackend returns the pool's persistent guarded MaxSAT substrate,
+// creating it on first use.
+func (p *Pool) MaxSATBackend() *maxsat.Backend {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.mx == nil {
+		p.mx = maxsat.NewBackend()
+		// Feed the backend into the process-global counters alongside the
+		// real oracles: one rebuild for its lifetime, and per solve all
+		// queries but the backend's very first count as incremental.
+		globalRebuilds.Add(1)
+		first := true
+		p.mx.OnQueries = func(n int64) {
+			globalQueries.Add(n)
+			if first && n > 0 {
+				n--
+				first = false
+			}
+			globalIncremental.Add(n)
+		}
+	}
+	return p.mx
+}
+
+// Stats aggregates the reuse counters of every instance in the pool
+// (sums for flows, maxima for high-water marks).
+func (p *Pool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var st Stats
+	if p.main != nil {
+		st.Add(p.main.Stats())
+	}
+	for _, o := range p.workers {
+		if o != nil {
+			st.Add(o.Stats())
+		}
+	}
+	if p.mx != nil {
+		st.Rebuilds++
+		st.Scopes += p.mx.Scopes
+		st.Queries += p.mx.Queries
+		if p.mx.Queries > 0 {
+			st.Incremental += p.mx.Queries - 1
+		}
+		if n := int64(p.mx.S.NumLearnts()); n > st.LearntsRetained {
+			st.LearntsRetained = n
+		}
+		if ab := int64(p.mx.S.ArenaBytes()); ab > st.ArenaBytesHW {
+			st.ArenaBytesHW = ab
+		}
+	}
+	return st
+}

@@ -167,6 +167,11 @@ func (p *SweepPass) Run(st *State) (Result, error) {
 	if st.Workers != 0 {
 		so.Workers = st.Workers
 	}
+	// Explicit nil check: assigning a nil *oracle.Pool to the interface
+	// field would make it non-nil (typed nil) and panic inside Sweep.
+	if st.Oracle != nil {
+		so.Oracles = st.Oracle
+	}
 	m, sst := st.G.Sweep(st.Matrix, so)
 	st.Matrix = m
 	p.sweeps++

@@ -29,6 +29,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 	"repro/internal/faults"
+	"repro/internal/oracle"
 )
 
 // Stop errors returned by Runner.Run and State.Stop when the budget ends a
@@ -80,6 +81,13 @@ type State struct {
 	// formula-changing pass. All Builder recorders are nil-safe, so passes
 	// record unconditionally.
 	Cert *cert.Builder
+	// Oracle, when non-nil, is the run's persistent incremental SAT
+	// substrate (one pool of long-lived solvers over G, created alongside
+	// the graph by the build pass). Sweeping, the MaxSAT elimination-set
+	// selection, and the final SAT check route their queries through it so
+	// encodings and learned clauses survive across passes; nil keeps every
+	// consumer on its historical fresh-solver-per-query path.
+	Oracle *oracle.Pool
 
 	// Decided, Sat and DecidedBy carry the verdict once a pass settles the
 	// formula.

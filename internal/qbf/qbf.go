@@ -24,6 +24,7 @@ import (
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 	"repro/internal/faults"
+	"repro/internal/oracle"
 	"repro/internal/pipeline"
 	"repro/internal/trace"
 )
@@ -69,6 +70,10 @@ type Options struct {
 	// block eliminations and the final SAT model (universal eliminations and
 	// constant collapses need no step; see internal/cert).
 	Cert *cert.Builder
+	// Oracle, when non-nil, is the persistent incremental SAT pool shared
+	// with the HQS pipeline (both operate on the same graph): sweeping and
+	// the final SAT check query it instead of building fresh solvers.
+	Oracle *oracle.Pool
 }
 
 // DefaultOptions mirror the configuration used in the paper's experiments.
@@ -216,6 +221,7 @@ func (s *Solver) Solve(prefix []dqbf.Block, matrix aig.Ref) (result bool, err er
 		Budget:   s.Opt.Budget,
 		Deadline: s.Opt.Deadline,
 		Cert:     s.Opt.Cert,
+		Oracle:   s.Opt.Oracle,
 	}
 	r := pipeline.NewRunner(st, s.Opt.Trace, "qbf")
 	sweep := pipeline.NewSweepPass(s.Opt.SweepThreshold, s.Opt.SweepOptions)
@@ -252,9 +258,18 @@ func (s *Solver) Solve(prefix []dqbf.Block, matrix aig.Ref) (result bool, err er
 			return pipeline.Result{}, nil
 		}
 		// Outermost existential block: one SAT call, under the budget so a
-		// cancellation interrupts the CDCL search itself.
+		// cancellation interrupts the CDCL search itself. With a persistent
+		// oracle the check reuses the run's incremental solver — the matrix
+		// cone is usually already largely encoded from earlier sweeps.
 		s.Stat.FinalSATRun = true
-		sat, model, err := s.G.IsSatisfiableBudget(st.Matrix, s.Opt.Budget)
+		var sat bool
+		var model map[cnf.Var]bool
+		var err error
+		if s.Opt.Oracle != nil {
+			sat, model, err = s.Opt.Oracle.Main().IsSatisfiable(st.Matrix, s.Opt.Budget)
+		} else {
+			sat, model, err = s.G.IsSatisfiableBudget(st.Matrix, s.Opt.Budget)
+		}
 		if err != nil {
 			if stop := st.Stop(); stop != nil {
 				return pipeline.Result{}, stop

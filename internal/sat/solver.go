@@ -79,6 +79,7 @@ type Solver struct {
 	level    []int     // decision level per var
 	reason   []cref    // antecedent clause per var, crefUndef if decision/none
 	polarity []bool    // saved phase per var (true = last assigned true)
+	pinned   []bool    // frozen phase per var: phase saving skips these
 	activity []float64 // VSIDS activity per var
 
 	trail    []cnf.Lit
@@ -114,6 +115,13 @@ type Solver struct {
 	// solver stays reusable after a budgeted stop.
 	Budget *budget.Budget
 
+	// KeepLearnts, when > 0, raises the floor of the learned-clause database
+	// size before reduceDB kicks in (default 100). Long-lived incremental
+	// consumers (internal/oracle) raise it so learned clauses survive across
+	// the many small queries of a sweep round instead of being evicted
+	// between them.
+	KeepLearnts int
+
 	budgetPoll uint32 // search-loop iterations since the last budget check
 
 	// Statistics.
@@ -131,6 +139,7 @@ type Stats struct {
 	Learned      int64
 	Removed      int64
 	Compactions  int64 // arena garbage collections
+	SolveCalls   int64 // Solve/SolveAssuming invocations on this instance
 }
 
 // New returns an empty solver.
@@ -148,6 +157,7 @@ func New() *Solver {
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, crefUndef)
 	s.polarity = append(s.polarity, false)
+	s.pinned = append(s.pinned, false)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
 	s.watches = append(s.watches, nil, nil)
@@ -157,8 +167,34 @@ func New() *Solver {
 // NumVars returns the number of allocated variables.
 func (s *Solver) NumVars() int { return s.numVars }
 
+// NumLearnts returns the number of learned clauses currently in the database.
+func (s *Solver) NumLearnts() int { return s.numLearnts }
+
 // ArenaBytes returns the current size of the packed clause arena in bytes.
 func (s *Solver) ArenaBytes() int { return s.ca.words() * 4 }
+
+// SetPhase freezes the decision phase of v: pickBranchLit will always try v
+// with polarity pol first, and phase saving no longer overwrites it. Used by
+// incremental consumers to pin activation literals of retired scopes to
+// false so they never pollute branching.
+func (s *Solver) SetPhase(v cnf.Var, pol bool) {
+	s.EnsureVars(int(v))
+	s.polarity[v] = pol
+	s.pinned[v] = true
+}
+
+// Freeze pins the current saved phase of v (see SetPhase).
+func (s *Solver) Freeze(v cnf.Var) {
+	s.EnsureVars(int(v))
+	s.pinned[v] = true
+}
+
+// Unfreeze releases a phase pin set by SetPhase or Freeze.
+func (s *Solver) Unfreeze(v cnf.Var) {
+	if int(v) <= s.numVars {
+		s.pinned[v] = false
+	}
+}
 
 // NewVar allocates a fresh variable and returns it.
 func (s *Solver) NewVar() cnf.Var {
@@ -168,6 +204,7 @@ func (s *Solver) NewVar() cnf.Var {
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, crefUndef)
 	s.polarity = append(s.polarity, false)
+	s.pinned = append(s.pinned, false)
 	s.activity = append(s.activity, 0)
 	s.seen = append(s.seen, 0)
 	s.watches = append(s.watches, nil, nil)
@@ -273,7 +310,9 @@ func (s *Solver) uncheckedEnqueue(l cnf.Lit, from cref) {
 	} else {
 		s.assign[v] = lTrue
 	}
-	s.polarity[v] = !l.Neg()
+	if !s.pinned[v] {
+		s.polarity[v] = !l.Neg()
+	}
 	s.level[v] = s.decisionLevel()
 	s.reason[v] = from
 	s.trail = append(s.trail, l)
@@ -641,6 +680,7 @@ func (s *Solver) SolveErr(assumps []cnf.Lit) (Status, error) {
 }
 
 func (s *Solver) solve(assumps []cnf.Lit) (Status, error) {
+	s.Stats.SolveCalls++
 	// Fault-injection seam: every CDCL oracle call in the stack funnels
 	// through here, so an armed plan can panic, stall, or fail the oracle.
 	if err := faults.Fire(faults.SATSolve); err != nil {
@@ -666,7 +706,11 @@ func (s *Solver) solve(assumps []cnf.Lit) (Status, error) {
 	startProp := s.Stats.Propagations
 
 	var restarts int64
-	maxLearnts := float64(s.numProblem)/3 + 100
+	floor := 100.0
+	if s.KeepLearnts > 0 {
+		floor = float64(s.KeepLearnts)
+	}
+	maxLearnts := float64(s.numProblem)/3 + floor
 
 	for {
 		restarts++

@@ -57,7 +57,8 @@ func TestChaosSchedulerUnderFaults(t *testing.T) {
 			"cache.lookup:error:every=5;"+
 			"maxsat.solve:error:p=0.05;"+
 			"qbf.eliminate:unknown:p=0.02;"+
-			"aig.sweep:error:p=0.2",
+			"aig.sweep:error:p=0.2;"+
+			"oracle.query:error:p=0.05",
 		1)
 
 	s := NewScheduler(Config{

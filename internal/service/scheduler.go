@@ -12,6 +12,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/dqbf"
 	"repro/internal/faults"
+	"repro/internal/oracle"
 	"repro/internal/trace"
 )
 
@@ -225,6 +226,13 @@ type Stats struct {
 	Running   int   `json:"running"`
 	CacheLen  int   `json:"cache_len"`
 	Workers   int   `json:"workers"`
+	// Oracle counters aggregate over every persistent incremental SAT
+	// oracle created in this process (one pool per pipeline run), counted
+	// at the oracle layer rather than per job so cache hits and fallbacks
+	// don't skew them.
+	OracleQueries     int64 `json:"oracle_queries"`
+	OracleIncremental int64 `json:"oracle_incremental"`
+	OracleRebuilds    int64 `json:"oracle_rebuilds"`
 }
 
 // Scheduler runs submitted jobs on a bounded worker pool.
@@ -539,6 +547,7 @@ func (s *Scheduler) QueueFree() int {
 
 // Stats returns a snapshot of the scheduler counters.
 func (s *Scheduler) Stats() Stats {
+	oq, oi, orb := oracle.GlobalStats()
 	return Stats{
 		Submitted: s.submitted.Load(),
 		Completed: s.completed.Load(),
@@ -555,5 +564,9 @@ func (s *Scheduler) Stats() Stats {
 		Running:   int(s.running.Load()),
 		CacheLen:  s.cache.Len(),
 		Workers:   s.cfg.Workers,
+
+		OracleQueries:     oq,
+		OracleIncremental: oi,
+		OracleRebuilds:    orb,
 	}
 }
