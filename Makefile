@@ -12,11 +12,12 @@ vet:
 	$(GO) vet ./...
 
 # Race-check the packages with concurrent code paths (the parallel SAT
-# sweep, the SAT substrate it drives, the job scheduler/portfolio, the
-# fault-injection plumbing they share, the daemon's HTTP handlers, and the
-# certificate checker the portfolio arms consult concurrently).
+# sweep, the SAT substrate it drives, the job scheduler/portfolio and the
+# defex/expand engines racing inside it, the fault-injection plumbing they
+# share, the daemon's HTTP handlers, and the certificate checker the
+# portfolio arms consult concurrently).
 race:
-	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/service ./internal/faults ./internal/leakcheck ./cmd/hqsd
+	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/defex ./internal/expand ./internal/service ./internal/faults ./internal/leakcheck ./cmd/hqsd
 
 # Differential fuzzing smoke run: 200 random instances, every solver
 # configuration against the brute-force reference, with Skolem certificate
@@ -43,7 +44,7 @@ chaos:
 check:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/service ./internal/faults ./internal/leakcheck ./cmd/hqsd
+	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/defex ./internal/expand ./internal/service ./internal/faults ./internal/leakcheck ./cmd/hqsd
 	$(GO) run ./cmd/dqbffuzz -n 200 -seed 1 -cert
 	$(GO) test ./internal/dqbf -run '^$$' -fuzz FuzzDQDIMACSReader -fuzztime 10s
 	$(GO) test ./internal/aig -run '^$$' -fuzz FuzzAIGCompose -fuzztime 10s
@@ -69,7 +70,7 @@ bench:
 
 # Regenerate the committed benchmark baseline on the three PEC families.
 baseline:
-	$(GO) run ./cmd/dqbfbench -family adder,bitcell,pec_xor -count 6 -baseline BENCH_pr6.json
+	$(GO) run ./cmd/dqbfbench -family adder,bitcell,pec_xor -count 6 -baseline BENCH_pr7.json
 
 # Newest committed baseline by PR number. `sort -V` (version sort), not make's
 # lexical $(lastword): pr10 must beat pr6.

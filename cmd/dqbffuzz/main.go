@@ -1,15 +1,17 @@
 // Command dqbffuzz cross-checks every solver in this repository on random
 // DQBF instances: HQS under several option sets, the iDQ-style
-// instantiation solver (including its Skolem certificates), full expansion,
-// the incomplete refuter, and — within reach — the brute-force
-// Skolem-table enumeration. Any disagreement is printed as a DQDIMACS
-// reproduction and the process exits nonzero.
+// instantiation solver (including its Skolem certificates), the
+// definition-extraction engine (both interpolation and semantic extraction
+// modes), full expansion, the incomplete refuter, and — within reach — the
+// brute-force Skolem-table enumeration. Any disagreement is printed as a
+// DQDIMACS reproduction and the process exits nonzero.
 //
 // iDQ certificates are always re-checked through the independent checker
-// (internal/cert); with -cert every HQS variant additionally extracts a
-// Skolem certificate on SAT and has it checked the same way, so a single
-// run validates certificates from every certificate-producing engine. A
-// rejected certificate prints its Skolem table alongside the DQDIMACS repro.
+// (internal/cert); with -cert every HQS variant and both defex modes
+// additionally extract a Skolem certificate on SAT and have it checked the
+// same way, so a single run validates certificates from every
+// certificate-producing engine. A rejected certificate prints its Skolem
+// table alongside the DQDIMACS repro.
 //
 // Usage:
 //
@@ -24,6 +26,7 @@ import (
 
 	"repro/internal/cert"
 	"repro/internal/core"
+	"repro/internal/defex"
 	"repro/internal/dqbf"
 	"repro/internal/expand"
 	"repro/internal/idq"
@@ -75,6 +78,28 @@ func main() {
 					bad++
 				} else if err := cert.Check(f, res.Certificate); err != nil {
 					failCert(f, fmt.Sprintf("%s certificate rejected: %v", name, err), res.Certificate)
+					bad++
+				}
+			}
+		}
+		defexModes := map[string]defex.Mode{
+			"defex-interp":   defex.ModeInterp,
+			"defex-semantic": defex.ModeSemantic,
+		}
+		for name, mode := range defexModes {
+			dres := defex.New(defex.Options{Mode: mode, Certify: *certify}).Solve(f)
+			if dres.Status != defex.Solved {
+				fail(f, fmt.Sprintf("%s did not finish: %v", name, dres.Status))
+				bad++
+				continue
+			}
+			verdicts[name] = dres.Sat
+			if *certify && dres.Sat {
+				if dres.CertErr != nil {
+					fail(f, fmt.Sprintf("%s certificate extraction failed: %v", name, dres.CertErr))
+					bad++
+				} else if err := cert.Check(f, dres.Certificate); err != nil {
+					failCert(f, fmt.Sprintf("%s certificate rejected: %v", name, err), dres.Certificate)
 					bad++
 				}
 			}

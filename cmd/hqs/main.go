@@ -8,8 +8,9 @@
 //	hqs [flags] [file.dqdimacs]
 //
 // With no file argument the formula is read from standard input. The
-// -engine flag can redirect the solve to the iDQ baseline or a portfolio
-// racing both engines; -timeout is enforced through a cancellable budget,
+// -engine flag can redirect the solve to the iDQ baseline, the
+// definition-extraction engine (defex), plain universal expansion, or a
+// portfolio racing all four; -timeout is enforced through a cancellable budget,
 // so it interrupts a running SAT oracle rather than waiting for the next
 // loop iteration. -trace prints one table row per executed pipeline pass to
 // stderr, and -trace-json streams the same events as JSON lines. -cert makes
@@ -37,7 +38,7 @@ import (
 func main() {
 	var (
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit (0 = none)")
-		engine     = flag.String("engine", "hqs", "solver engine: hqs | idq | portfolio")
+		engine     = flag.String("engine", "hqs", "solver engine: hqs | idq | defex | expand | portfolio")
 		nodeLimit  = flag.Int("node-limit", 0, "AIG node limit (0 = none)")
 		strategy   = flag.String("strategy", "maxsat", "universal elimination set: maxsat | greedy | all")
 		noPre      = flag.Bool("no-preprocess", false, "disable CNF preprocessing")

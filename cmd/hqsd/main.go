@@ -1,7 +1,7 @@
 // Command hqsd serves the DQBF solvers over HTTP: clients POST DQDIMACS
 // instances, the daemon schedules them on a bounded worker pool (engine hqs,
-// idq, or a portfolio racing both), and results are polled or awaited as
-// JSON. SIGTERM/SIGINT triggers a graceful drain: the health check flips to
+// idq, defex, expand, or a portfolio racing all four), and results are
+// polled or awaited as JSON. SIGTERM/SIGINT triggers a graceful drain: the health check flips to
 // 503, queued and running jobs finish (up to -drain-timeout, after which
 // they are cancelled), then the listener shuts down.
 //
@@ -48,7 +48,7 @@ func main() {
 		workers      = flag.Int("workers", 2, "concurrent solver workers")
 		queueCap     = flag.Int("queue", 64, "job queue capacity")
 		cacheSize    = flag.Int("cache-size", 256, "LRU result cache entries (negative = disable)")
-		engine       = flag.String("engine", "portfolio", "default engine: hqs | idq | portfolio")
+		engine       = flag.String("engine", "portfolio", "default engine: hqs | idq | defex | expand | portfolio")
 		defTimeout   = flag.Duration("default-timeout", 0, "per-job timeout when the client sets none (0 = none)")
 		maxTimeout   = flag.Duration("max-timeout", 0, "clamp on per-job timeouts (0 = none)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight jobs on shutdown")

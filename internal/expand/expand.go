@@ -19,6 +19,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/budget"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
 	"repro/internal/sat"
@@ -31,6 +32,13 @@ type Options struct {
 	MaxUniversals int
 	// Timeout bounds wall-clock time; 0 means unlimited.
 	Timeout time.Duration
+	// Budget, when non-nil, bounds the expansion loop and the SAT call and
+	// makes them cancellable; exhaustion surfaces as an error wrapping the
+	// budget's sentinel.
+	Budget *budget.Budget
+	// Certify extracts a table-based Skolem certificate from the SAT model
+	// on a satisfiable verdict.
+	Certify bool
 }
 
 // Stats collects counters.
@@ -47,6 +55,9 @@ type Stats struct {
 type Result struct {
 	Sat   bool
 	Stats Stats
+	// Certificate holds the Skolem tables of a certified SAT verdict
+	// (Options.Certify); nil otherwise.
+	Certificate *dqbf.Certificate
 }
 
 // Solver decides DQBF by eager full expansion.
@@ -77,6 +88,7 @@ func (s *Solver) Solve(f *dqbf.Formula) (Result, error) {
 	}
 
 	solver := sat.New()
+	solver.Budget = s.Opt.Budget
 	uidx := make(map[cnf.Var]int, len(f.Univ))
 	for i, x := range f.Univ {
 		uidx[x] = i
@@ -109,6 +121,9 @@ func (s *Solver) Solve(f *dqbf.Formula) (Result, error) {
 	for bits := 0; bits < 1<<n; bits++ {
 		if !deadline.IsZero() && time.Now().After(deadline) {
 			return res, fmt.Errorf("expand: timeout after %d of %d instances", bits, 1<<n)
+		}
+		if err := s.Opt.Budget.Err(); err != nil {
+			return res, fmt.Errorf("expand: stopped after %d of %d instances: %w", bits, 1<<n, err)
 		}
 		for i := range a {
 			a[i] = bits&(1<<i) != 0
@@ -144,6 +159,32 @@ func (s *Solver) Solve(f *dqbf.Formula) (Result, error) {
 	}
 	st := solver.Solve()
 	res.Stats.SATConflicts = solver.Stats.Conflicts
+	if st == sat.Unknown {
+		err := s.Opt.Budget.Err()
+		if err == nil {
+			err = fmt.Errorf("expand: SAT call stopped")
+		}
+		return res, fmt.Errorf("expand: ground SAT call stopped: %w", err)
+	}
 	res.Sat = st == sat.Sat
+	if res.Sat && s.Opt.Certify {
+		m := solver.Model()
+		c := &dqbf.Certificate{
+			Tables:   make(map[cnf.Var]map[string]bool),
+			Defaults: make(map[cnf.Var]bool),
+		}
+		for k, v := range copies {
+			at := strings.IndexByte(k, '@')
+			var y cnf.Var
+			fmt.Sscanf(k[:at], "%d", &y)
+			tab, ok := c.Tables[y]
+			if !ok {
+				tab = make(map[string]bool)
+				c.Tables[y] = tab
+			}
+			tab[k[at+1:]] = m.Get(v)
+		}
+		res.Certificate = c
+	}
 	return res, nil
 }

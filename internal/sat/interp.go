@@ -1,0 +1,231 @@
+package sat
+
+import "repro/internal/cnf"
+
+// Interpolating proof mode.
+//
+// A refutation of A(X, Z_A) ∧ B(X, Z_B) — X shared, Z_A/Z_B local — yields a
+// Craig interpolant I over X with A ⇒ I and I ∧ B unsatisfiable. The solver
+// computes I alongside the refutation using McMillan's labeled interpolation
+// system over the resolution proof CDCL implicitly performs:
+//
+//   - an A-clause starts with the disjunction of its shared literals,
+//   - a B-clause starts with ⊤,
+//   - a resolution on an A-local pivot joins the partial interpolants with ∨,
+//     any other pivot (shared or B-local) joins them with ∧.
+//
+// The proof is never materialized: every clause (problem and learned) carries
+// a partial interpolant, first-UIP conflict analysis folds the antecedents'
+// interpolants as it resolves, and literals analyze skips because they are
+// falsified at level 0 are folded as resolutions against the level-0 unit
+// chain that forced them (computed lazily through the reason graph and
+// memoized). The interpolant of the derived empty clause is the answer.
+//
+// Proof mode restricts the solver: clauses must be added through
+// AddClauseTagged, assumptions are not supported (encode them as unit
+// clauses), learned-clause minimization is disabled (its resolutions are not
+// recorded), and the clause database is never reduced or compacted (crefs
+// must stay stable because they key the partial-interpolant map). Extraction
+// instances are small one-shot refutations, so none of this matters for
+// performance; the long-lived oracles never enable proof mode.
+
+// ItpRef is an opaque handle to a node of the interpolant structure being
+// built. The solver only ever stores and passes these back to the builder.
+type ItpRef int64
+
+// ItpBuilder constructs the interpolant bottom-up. The caller provides the
+// representation (internal/defex builds AIG nodes); the solver only dictates
+// the structure.
+type ItpBuilder interface {
+	True() ItpRef
+	False() ItpRef
+	// Lit returns the interpolant node for a shared literal.
+	Lit(l cnf.Lit) ItpRef
+	And(a, b ItpRef) ItpRef
+	Or(a, b ItpRef) ItpRef
+}
+
+// ItpClass labels a variable's partition membership.
+type ItpClass uint8
+
+const (
+	// ItpClassA marks a variable local to the A part.
+	ItpClassA ItpClass = iota
+	// ItpClassB marks a variable local to the B part.
+	ItpClassB
+	// ItpClassShared marks a variable of the shared vocabulary; only these
+	// may appear in the interpolant.
+	ItpClassShared
+)
+
+// itpState is the proof-mode bookkeeping attached to an interpolating solver.
+type itpState struct {
+	builder ItpBuilder
+	class   func(cnf.Var) ItpClass
+
+	// clause maps every live clause (problem and learned) to its partial
+	// interpolant. Stable because proof mode never reduces or compacts.
+	clause map[cref]ItpRef
+	// zero maps level-0-assigned variables to the interpolant of the unit
+	// clause {l} derivable for their forced literal (memoized lazily).
+	zero map[cnf.Var]ItpRef
+
+	// lastLearnt is the partial interpolant of the clause the most recent
+	// analyze derived.
+	lastLearnt ItpRef
+
+	final    ItpRef
+	hasFinal bool
+}
+
+// BeginInterpolation switches the solver into proof mode. It must be called
+// on a fresh solver, before any clause is added; class labels every variable
+// that will ever occur (shared variables are the interpolant vocabulary).
+func (s *Solver) BeginInterpolation(b ItpBuilder, class func(cnf.Var) ItpClass) {
+	if s.numProblem > 0 || len(s.trail) > 0 || !s.ok {
+		panic("sat: BeginInterpolation on a non-fresh solver")
+	}
+	s.itp = &itpState{
+		builder: b,
+		class:   class,
+		clause:  make(map[cref]ItpRef),
+		zero:    make(map[cnf.Var]ItpRef),
+	}
+}
+
+// Interpolant returns the interpolant of the refutation after an Unsat
+// verdict in proof mode. The second result is false while no refutation has
+// been completed.
+func (s *Solver) Interpolant() (ItpRef, bool) {
+	if s.itp == nil || !s.itp.hasFinal {
+		return 0, false
+	}
+	return s.itp.final, true
+}
+
+// itpResolve combines the partial interpolants of two clauses resolved on
+// pivot: ∨ for an A-local pivot, ∧ otherwise (McMillan's system). The rule
+// stays sound for "weakened" steps where the pivot is absent from one side —
+// the resolvent then subsumes-or-equals the union, and a clause's partial
+// interpolant remains valid for any weakening of the clause.
+func (s *Solver) itpResolve(a, b ItpRef, pivot cnf.Var) ItpRef {
+	if s.itp.class(pivot) == ItpClassA {
+		return s.itp.builder.Or(a, b)
+	}
+	return s.itp.builder.And(a, b)
+}
+
+// zeroItpOf returns the interpolant of the derivable unit clause forcing v's
+// level-0 assignment, chasing the reason graph lazily. Unit problem clauses
+// and learned units seed the memo; propagated literals fold their reason
+// clause's interpolant with the units of the reason's remaining literals.
+func (s *Solver) zeroItpOf(v cnf.Var) ItpRef {
+	st := s.itp
+	if r, ok := st.zero[v]; ok {
+		return r
+	}
+	c := s.reason[v]
+	if c == crefUndef {
+		panic("sat: no recorded interpolant for level-0 literal")
+	}
+	lits := s.ca.lits(c)
+	cur, ok := st.clause[c]
+	if !ok {
+		panic("sat: reason clause without interpolant")
+	}
+	// lits[0] is the implied literal; the rest are false at level 0.
+	for _, q := range lits[1:] {
+		cur = s.itpResolve(cur, s.zeroItpOf(q.Var()), q.Var())
+	}
+	st.zero[v] = cur
+	return cur
+}
+
+// setFinal records the interpolant of the empty clause.
+func (s *Solver) setFinal(r ItpRef) {
+	s.itp.final = r
+	s.itp.hasFinal = true
+}
+
+// finalizeItp resolves a level-0 conflict clause down to the empty clause:
+// every literal of the conflicting clause is false at level 0, so each is
+// eliminated against its level-0 unit chain.
+func (s *Solver) finalizeItp(confl cref) {
+	cur, ok := s.itp.clause[confl]
+	if !ok {
+		panic("sat: conflict clause without interpolant")
+	}
+	for _, q := range s.ca.lits(confl) {
+		cur = s.itpResolve(cur, s.zeroItpOf(q.Var()), q.Var())
+	}
+	s.setFinal(cur)
+}
+
+// AddClauseTagged adds a clause to the A part (inB false) or B part (inB
+// true) of an interpolating solver. Like AddClause it returns false once the
+// clause set is unsatisfiable at level 0 — at which point the refutation's
+// interpolant is already available from Interpolant.
+func (s *Solver) AddClauseTagged(inB bool, lits ...cnf.Lit) bool {
+	st := s.itp
+	if st == nil {
+		panic("sat: AddClauseTagged without BeginInterpolation")
+	}
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClauseTagged above decision level 0")
+	}
+	c := make(cnf.Clause, len(lits))
+	copy(c, lits)
+	cl, taut := c.Normalize()
+	if taut {
+		return true
+	}
+	// Base partial interpolant of the clause: ⊤ for B-clauses, the
+	// disjunction of the shared literals for A-clauses.
+	base := st.builder.True()
+	if !inB {
+		base = st.builder.False()
+		for _, l := range cl {
+			if st.class(l.Var()) == ItpClassShared {
+				base = st.builder.Or(base, st.builder.Lit(l))
+			}
+		}
+	}
+	// Remove literals already false at level 0 — each removal is a recorded
+	// resolution against the unit chain that falsified the literal.
+	out := cl[:0]
+	for _, l := range cl {
+		if int(l.Var()) > s.numVars {
+			s.EnsureVars(int(l.Var()))
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true
+		case lFalse:
+			base = s.itpResolve(base, s.zeroItpOf(l.Var()), l.Var())
+		default:
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.setFinal(base)
+		s.ok = false
+		return false
+	case 1:
+		st.zero[out[0].Var()] = base
+		s.uncheckedEnqueue(out[0], crefUndef)
+		if confl := s.propagate(); confl != crefUndef {
+			s.finalizeItp(confl)
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	cr := s.attachClause(out, false)
+	st.clause[cr] = base
+	s.numProblem++
+	return true
+}

@@ -48,15 +48,14 @@ func (p RetryPolicy) backoff(n int) time.Duration {
 }
 
 // FallbackChain returns the engines tried for a job that requested eng, in
-// order: the requested engine first, then the remaining suffix of the fixed
-// chain hqs → portfolio → idq. A failing HQS run falls back to the
-// portfolio (which still includes HQS — a transiently failing engine may
-// well win its rematch) and finally to the iDQ baseline alone; the baseline
-// itself is last, with nothing to fall back to.
+// order: the requested engine first, then the portfolio (which still
+// includes the requested engine — a transiently failing engine may well win
+// its rematch), then the iDQ baseline alone; the baseline itself is last,
+// with nothing to fall back to.
 func FallbackChain(eng Engine) []Engine {
 	switch eng {
-	case EngineHQS:
-		return []Engine{EngineHQS, EnginePortfolio, EngineIDQ}
+	case EngineHQS, EngineDefex, EngineExpand:
+		return []Engine{eng, EnginePortfolio, EngineIDQ}
 	case EnginePortfolio, "":
 		return []Engine{EnginePortfolio, EngineIDQ}
 	default:

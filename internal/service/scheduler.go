@@ -233,6 +233,11 @@ type Stats struct {
 	OracleQueries     int64 `json:"oracle_queries"`
 	OracleIncremental int64 `json:"oracle_incremental"`
 	OracleRebuilds    int64 `json:"oracle_rebuilds"`
+	// Engines breaks attempts and definitive verdicts down per engine
+	// (process-wide, like the oracle counters): in portfolio mode the winning
+	// arm is credited, so the table answers which engine actually produces
+	// the verdicts.
+	Engines map[Engine]EngineCounters `json:"engines"`
 }
 
 // Scheduler runs submitted jobs on a bounded worker pool.
@@ -568,5 +573,6 @@ func (s *Scheduler) Stats() Stats {
 		OracleQueries:     oq,
 		OracleIncremental: oi,
 		OracleRebuilds:    orb,
+		Engines:           EngineStats(),
 	}
 }

@@ -1,7 +1,9 @@
 // Package service turns the batch DQBF solvers into a long-running solver
 // service: it provides cancellable engine runners over a shared budget, a
-// portfolio mode that races HQS against the iDQ baseline and cancels the
-// loser, a bounded worker-pool scheduler with a job queue and per-job
+// portfolio mode that races HQS, the iDQ baseline, the definition-extraction
+// engine, and the expansion reference — cancelling the losers, with
+// per-engine win/attempt counters answering which arm actually produces
+// verdicts — a bounded worker-pool scheduler with a job queue and per-job
 // limits, and an LRU result cache keyed by a canonical hash of the parsed
 // formula.
 //
@@ -9,8 +11,8 @@
 // engine attempt runs under recover (a panicking solver core becomes an
 // Error verdict with the stack captured, never a dead worker), transient
 // failures are retried with exponential backoff and jitter, failed engines
-// fall back along the chain hqs → portfolio → idq, and SAT verdicts backed
-// by Skolem certificates are verified before they are reported.
+// fall back along a chain ending in the iDQ baseline, and SAT verdicts
+// backed by Skolem certificates are verified before they are reported.
 //
 // The package is the substrate of the hqsd daemon (cmd/hqsd) but is equally
 // usable in-process; every entry point is safe for concurrent use.
@@ -20,12 +22,15 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"strings"
 	"sync/atomic"
 
 	"repro/internal/budget"
 	"repro/internal/cert"
 	"repro/internal/core"
+	"repro/internal/defex"
 	"repro/internal/dqbf"
+	"repro/internal/expand"
 	"repro/internal/faults"
 	"repro/internal/idq"
 	"repro/internal/trace"
@@ -39,23 +44,83 @@ const (
 	EngineHQS Engine = "hqs"
 	// EngineIDQ is the instantiation-based baseline (internal/idq).
 	EngineIDQ Engine = "idq"
-	// EnginePortfolio races both engines and cancels the loser. Because both
-	// engines are sound, the reported verdict is deterministic even though
-	// the winning engine may vary from run to run.
+	// EngineDefex is the definition-extraction engine (internal/defex).
+	EngineDefex Engine = "defex"
+	// EngineExpand is the eager full-expansion reference engine
+	// (internal/expand).
+	EngineExpand Engine = "expand"
+	// EnginePortfolio races the engines and cancels the losers. Because every
+	// engine is sound, the reported verdict is deterministic even though the
+	// winning engine may vary from run to run.
 	EnginePortfolio Engine = "portfolio"
 )
+
+// Engines lists every selectable engine (portfolio arms first).
+var Engines = []Engine{EngineHQS, EngineIDQ, EngineDefex, EngineExpand, EnginePortfolio}
 
 // ParseEngine maps a user-supplied engine name to an Engine; the empty
 // string selects the portfolio.
 func ParseEngine(s string) (Engine, error) {
 	switch Engine(s) {
-	case EngineHQS, EngineIDQ, EnginePortfolio:
+	case EngineHQS, EngineIDQ, EngineDefex, EngineExpand, EnginePortfolio:
 		return Engine(s), nil
 	case "":
 		return EnginePortfolio, nil
 	default:
-		return "", fmt.Errorf("service: unknown engine %q (want hqs, idq, or portfolio)", s)
+		return "", fmt.Errorf("service: unknown engine %q (want hqs, idq, defex, expand, or portfolio)", s)
 	}
+}
+
+// EngineCounters are the per-engine attempt/win totals of the process.
+type EngineCounters struct {
+	// Attempts counts engine runs started (portfolio arms count for the arm's
+	// engine AND one attempt for the portfolio row itself).
+	Attempts int64 `json:"attempts"`
+	// Wins counts definitive verdicts the engine itself produced; the
+	// portfolio row never wins — its verdicts are credited to the winning arm.
+	Wins int64 `json:"wins"`
+}
+
+// engineMeters holds the process-global per-engine counters; index by the
+// engine constants above. Atomic because portfolio arms run concurrently.
+var engineMeters = map[Engine]*struct{ attempts, wins atomic.Int64 }{
+	EngineHQS:       {},
+	EngineIDQ:       {},
+	EngineDefex:     {},
+	EngineExpand:    {},
+	EnginePortfolio: {},
+}
+
+// EngineStats snapshots the process-wide per-engine attempt/win counters —
+// the answer to "which portfolio arm actually produces the verdicts".
+func EngineStats() map[Engine]EngineCounters {
+	out := make(map[Engine]EngineCounters, len(engineMeters))
+	for eng, m := range engineMeters {
+		out[eng] = EngineCounters{Attempts: m.attempts.Load(), Wins: m.wins.Load()}
+	}
+	return out
+}
+
+// ResetEngineStats zeroes the per-engine counters (tests, benchmark runs).
+func ResetEngineStats() {
+	for _, m := range engineMeters {
+		m.attempts.Store(0)
+		m.wins.Store(0)
+	}
+}
+
+// FormatEngineStats renders the counters as a stable one-line-per-engine
+// table in the fixed Engines order.
+func FormatEngineStats(stats map[Engine]EngineCounters) string {
+	var b strings.Builder
+	for _, eng := range Engines {
+		c := stats[eng]
+		if c.Attempts == 0 && c.Wins == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-10s attempts=%-6d wins=%d\n", eng, c.Attempts, c.Wins)
+	}
+	return b.String()
 }
 
 // Verdict is the four-valued answer of a budgeted solve.
@@ -173,6 +238,17 @@ func RunTraced(f *dqbf.Formula, eng Engine, b *budget.Budget, sink trace.Sink) (
 // anywhere in the engine (or injected by a fault plan) is converted into a
 // VerdictError outcome carrying the message and captured stack.
 func runGuarded(f *dqbf.Formula, eng Engine, b *budget.Budget, sink trace.Sink) (out Outcome) {
+	if m := engineMeters[eng]; m != nil {
+		m.attempts.Add(1)
+		defer func() {
+			// A win is a definitive verdict produced by this engine itself;
+			// the portfolio's verdicts carry the winning arm's name and were
+			// already credited there.
+			if (out.Verdict == VerdictSat || out.Verdict == VerdictUnsat) && out.Engine == eng {
+				m.wins.Add(1)
+			}
+		}()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			out = Outcome{
@@ -189,6 +265,10 @@ func runGuarded(f *dqbf.Formula, eng Engine, b *budget.Budget, sink trace.Sink) 
 		return runHQS(f, b, sink)
 	case EngineIDQ:
 		return runIDQ(f, b)
+	case EngineDefex:
+		return runDefex(f, b, sink)
+	case EngineExpand:
+		return runExpand(f, b)
 	default:
 		return runPortfolio(f, b, sink)
 	}
@@ -291,6 +371,85 @@ func runIDQ(f *dqbf.Formula, b *budget.Budget) Outcome {
 	return out
 }
 
+// runDefex runs the definition-extraction engine. Like HQS it extracts AIG
+// Skolem certificates, so it shares the certifyHQS trust policy: under
+// -certify a SAT verdict must survive the independent checker.
+func runDefex(f *dqbf.Formula, b *budget.Budget, sink trace.Sink) Outcome {
+	opt := defex.DefaultOptions()
+	opt.Budget = b
+	opt.Trace = sink
+	opt.Certify = certifyHQS.Load()
+	res := defex.New(opt).Solve(f)
+	out := Outcome{Engine: EngineDefex}
+	switch res.Status {
+	case defex.Solved:
+		out.Reason = "solved"
+		if res.Sat {
+			if opt.Certify {
+				if err := verifySkolem(f, res.Certificate, res.CertErr); err != nil {
+					return Outcome{
+						Verdict: VerdictError,
+						Engine:  EngineDefex,
+						Reason:  "error",
+						Error:   fmt.Sprintf("skolem certificate rejected: %v", err),
+					}
+				}
+			}
+			out.Verdict = VerdictSat
+		} else {
+			out.Verdict = VerdictUnsat
+		}
+	case defex.Timeout:
+		out.Reason = "timeout"
+	case defex.Memout:
+		out.Reason = "memout"
+	case defex.Cancelled:
+		out.Reason = reasonFromErr(b.Err())
+	}
+	return out
+}
+
+// runExpand runs the eager full-expansion reference engine. Its table
+// certificates are always checked (the iDQ trust policy): the engine exists
+// for cross-checking, so an unverified SAT from it has no value.
+func runExpand(f *dqbf.Formula, b *budget.Budget) Outcome {
+	res, err := expand.New(expand.Options{Budget: b, Certify: true}).Solve(f)
+	out := Outcome{Engine: EngineExpand}
+	if err != nil {
+		switch {
+		case errors.Is(err, budget.ErrDeadline):
+			out.Reason = "timeout"
+		case errors.Is(err, budget.ErrCancelled),
+			errors.Is(err, budget.ErrConflicts),
+			errors.Is(err, budget.ErrDecisions):
+			out.Reason = reasonFromErr(b.Err())
+		case strings.Contains(err.Error(), "exceed limit"):
+			// The expansion refusal is this engine's memory limit.
+			out.Reason = "memout"
+		default:
+			out.Verdict = VerdictError
+			out.Reason = "error"
+			out.Error = err.Error()
+		}
+		return out
+	}
+	if res.Sat {
+		if err := verifyCertificate(f, res.Certificate); err != nil {
+			return Outcome{
+				Verdict: VerdictError,
+				Engine:  EngineExpand,
+				Reason:  "error",
+				Error:   fmt.Sprintf("skolem certificate rejected: %v", err),
+			}
+		}
+		out.Verdict = VerdictSat
+	} else {
+		out.Verdict = VerdictUnsat
+	}
+	out.Reason = "solved"
+	return out
+}
+
 // verifyCertificate checks a table-based Skolem certificate against the
 // formula by lifting it into the shared AIG checker (internal/cert) — the
 // same code path that validates HQS-extracted certificates. A nil
@@ -324,25 +483,47 @@ func verifySkolem(f *dqbf.Formula, c *cert.Certificate, extractErr error) error 
 	return cert.Check(f, c)
 }
 
-// runPortfolio races HQS and iDQ on child budgets of b. The first definitive
-// verdict wins and the loser is cancelled; if the parent budget stops first,
-// both children are cancelled. Different engines win on different instance
-// families (HQS on elimination-friendly prefixes, iDQ on refutable
-// instances), which is the point of keeping both live behind one interface.
+// PortfolioArms lists the engines the portfolio races, in the order their
+// goroutines are launched.
+var PortfolioArms = []Engine{EngineHQS, EngineIDQ, EngineDefex, EngineExpand}
+
+// runPortfolio races the portfolio arms (HQS, iDQ, defex, expand) on child
+// budgets of b. The first definitive verdict wins and the losers are
+// cancelled; if the parent budget stops first, every child is cancelled.
+// Different engines win on different instance families (HQS on
+// elimination-friendly prefixes, iDQ on refutable instances, defex on
+// definable PEC boxes, expand on tiny universal counts), which is the point
+// of keeping them all live behind one interface.
 //
 // Each arm runs guarded in its own goroutine, so a panicking engine loses
 // the race instead of killing the process; the portfolio reports Error only
 // when no arm produced a verdict and at least one failed outright.
 func runPortfolio(f *dqbf.Formula, b *budget.Budget, sink trace.Sink) Outcome {
-	b1, b2 := b.Child(), b.Child()
-	ch := make(chan Outcome, 2)
-	go func() { ch <- runGuarded(f, EngineHQS, b1, sink) }()
-	go func() { ch <- runGuarded(f, EngineIDQ, b2, nil) }()
+	arms := PortfolioArms
+	buds := make([]*budget.Budget, len(arms))
+	ch := make(chan Outcome, len(arms))
+	cancelAll := func() {
+		for _, cb := range buds {
+			cb.Cancel()
+		}
+	}
+	for i, eng := range arms {
+		buds[i] = b.Child()
+		// Only the HQS arm gets the per-pass trace sink: sinks need not be
+		// safe for concurrent emission from racing pipelines.
+		var armSink trace.Sink
+		if eng == EngineHQS {
+			armSink = sink
+		}
+		go func(eng Engine, cb *budget.Budget, s trace.Sink) {
+			ch <- runGuarded(f, eng, cb, s)
+		}(eng, buds[i], armSink)
+	}
 
 	var winner *Outcome
 	var losers []Outcome
 	doneCh := b.Done()
-	for n := 0; n < 2; {
+	for n := 0; n < len(arms); {
 		select {
 		case o := <-ch:
 			n++
@@ -350,22 +531,22 @@ func runPortfolio(f *dqbf.Formula, b *budget.Budget, sink trace.Sink) Outcome {
 				if winner == nil {
 					o := o
 					winner = &o
-					// Cancel the loser; keep draining so both goroutines
-					// finish before we fold the meters back.
-					b1.Cancel()
-					b2.Cancel()
+					// Cancel the losers; keep draining so every goroutine
+					// finishes before we fold the meters back.
+					cancelAll()
 				}
 			} else {
 				losers = append(losers, o)
 			}
 		case <-doneCh:
 			doneCh = nil
-			b1.Cancel()
-			b2.Cancel()
+			cancelAll()
 		}
 	}
-	b.AddConflicts(b1.ConflictsUsed() + b2.ConflictsUsed())
-	b.AddDecisions(b1.DecisionsUsed() + b2.DecisionsUsed())
+	for _, cb := range buds {
+		b.AddConflicts(cb.ConflictsUsed())
+		b.AddDecisions(cb.DecisionsUsed())
+	}
 	if winner != nil {
 		return *winner
 	}

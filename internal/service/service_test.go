@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -71,7 +73,7 @@ func pigeonholeDQBF(n int) *dqbf.Formula {
 }
 
 func TestRunEngines(t *testing.T) {
-	for _, eng := range []Engine{EngineHQS, EngineIDQ, EnginePortfolio} {
+	for _, eng := range Engines {
 		for _, tc := range []struct {
 			f    *dqbf.Formula
 			want Verdict
@@ -108,7 +110,7 @@ func TestRunUnknownEngine(t *testing.T) {
 // TestCancelMidSolve is the tentpole cancellation scenario: a hard instance
 // is cancelled mid-solve and each engine must return Unknown promptly.
 func TestCancelMidSolve(t *testing.T) {
-	for _, eng := range []Engine{EngineHQS, EngineIDQ, EnginePortfolio} {
+	for _, eng := range []Engine{EngineHQS, EngineIDQ, EngineDefex, EnginePortfolio} {
 		eng := eng
 		t.Run(string(eng), func(t *testing.T) {
 			t.Parallel()
@@ -159,6 +161,73 @@ func TestPortfolioTimeout(t *testing.T) {
 	}
 	if out.Verdict != VerdictUnknown || out.Reason != "timeout" {
 		t.Fatalf("got verdict %v reason %q, want UNKNOWN/timeout", out.Verdict, out.Reason)
+	}
+}
+
+// TestPortfolioAgreesWithSerial is the four-arm acceptance check: on random
+// instances the portfolio verdict must match every serial engine that can
+// decide the instance within its own limits.
+func TestPortfolioAgreesWithSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 25; i++ {
+		f := dqbf.RandomFormula(rng, 1+rng.Intn(3), 1+rng.Intn(3), 1+rng.Intn(10))
+		port, err := Run(f, EnginePortfolio, budget.WithTimeout(30*time.Second))
+		if err != nil {
+			t.Fatalf("instance %d: portfolio: %v", i, err)
+		}
+		if port.Verdict != VerdictSat && port.Verdict != VerdictUnsat {
+			t.Fatalf("instance %d: portfolio verdict %v (%s)", i, port.Verdict, port.Reason)
+		}
+		for _, eng := range []Engine{EngineHQS, EngineIDQ, EngineDefex, EngineExpand} {
+			out, err := Run(f, eng, budget.WithTimeout(30*time.Second))
+			if err != nil {
+				t.Fatalf("instance %d %s: %v", i, eng, err)
+			}
+			if out.Verdict != VerdictSat && out.Verdict != VerdictUnsat {
+				continue // engine-local limit; nothing to compare
+			}
+			if out.Verdict != port.Verdict {
+				t.Fatalf("instance %d: %s says %v, portfolio says %v\nclauses %v",
+					i, eng, out.Verdict, port.Verdict, f.Matrix.Clauses)
+			}
+		}
+	}
+}
+
+// TestEngineStatsMetering pins the per-engine win accounting: serial runs win
+// for themselves, and a portfolio run credits the winning arm — never the
+// portfolio row itself.
+func TestEngineStatsMetering(t *testing.T) {
+	ResetEngineStats()
+	defer ResetEngineStats()
+
+	for _, eng := range []Engine{EngineHQS, EngineIDQ, EngineDefex, EngineExpand} {
+		if _, err := Run(paperExample1(), eng, budget.WithTimeout(30*time.Second)); err != nil {
+			t.Fatal(err)
+		}
+		st := EngineStats()
+		if st[eng].Attempts != 1 || st[eng].Wins != 1 {
+			t.Fatalf("%s: counters = %+v, want 1 attempt / 1 win", eng, st[eng])
+		}
+	}
+
+	ResetEngineStats()
+	if _, err := Run(unsatExample(), EnginePortfolio, budget.WithTimeout(30*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	st := EngineStats()
+	if st[EnginePortfolio].Attempts != 1 {
+		t.Fatalf("portfolio attempts = %d, want 1", st[EnginePortfolio].Attempts)
+	}
+	if st[EnginePortfolio].Wins != 0 {
+		t.Fatalf("portfolio wins = %d, want 0 (wins go to the arm)", st[EnginePortfolio].Wins)
+	}
+	armWins := st[EngineHQS].Wins + st[EngineIDQ].Wins + st[EngineDefex].Wins + st[EngineExpand].Wins
+	if armWins == 0 {
+		t.Fatal("no arm was credited with the portfolio's verdict")
+	}
+	if s := FormatEngineStats(st); !strings.Contains(s, "attempts=") {
+		t.Fatalf("FormatEngineStats output %q lacks counters", s)
 	}
 }
 
