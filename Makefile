@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check fuzz-smoke fuzz-native chaos serve-smoke bench bench-sat bench-sweep baseline bench-gate bench-gate-quick bench-compare
+.PHONY: build test race vet check fuzz-smoke fuzz-native chaos chaos-store serve-smoke bench bench-sat bench-sweep baseline bench-gate bench-gate-quick bench-compare
 
 build:
 	$(GO) build ./...
@@ -17,7 +17,7 @@ vet:
 # share, the daemon's HTTP handlers, and the certificate checker the
 # portfolio arms consult concurrently).
 race:
-	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/defex ./internal/expand ./internal/service ./internal/faults ./internal/leakcheck ./cmd/hqsd
+	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/defex ./internal/expand ./internal/service ./internal/store ./internal/faults ./internal/leakcheck ./cmd/hqsd
 
 # Differential fuzzing smoke run: 200 random instances, every solver
 # configuration against the brute-force reference, with Skolem certificate
@@ -39,22 +39,33 @@ fuzz-native:
 chaos:
 	$(GO) test -race -run 'TestChaos|TestDrainRace' -v ./internal/service
 
+# Disk-fault chaos drill for the persistent store, also under the race
+# detector: kill-and-restart durability, torn writes, truncations, bit
+# flips, journal tails torn mid-append, concurrent readers/writers, and the
+# store.read/store.write/store.corrupt fault points driven against a live
+# scheduler (verdicts must never change, only hit rates).
+chaos-store:
+	$(GO) test -race -run 'TestStore|TestEntry|TestSchedulerStore' -v ./internal/store ./internal/service
+
 # The PR gate: vet, the full test suite, the race pass, the certified fuzz
-# smoke, the native fuzz harnesses, and the chaos drill.
+# smoke, the native fuzz harnesses, and both chaos drills.
 check:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/defex ./internal/expand ./internal/service ./internal/faults ./internal/leakcheck ./cmd/hqsd
+	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/defex ./internal/expand ./internal/service ./internal/store ./internal/faults ./internal/leakcheck ./cmd/hqsd
 	$(GO) run ./cmd/dqbffuzz -n 200 -seed 1 -cert
 	$(GO) test ./internal/dqbf -run '^$$' -fuzz FuzzDQDIMACSReader -fuzztime 10s
 	$(GO) test ./internal/aig -run '^$$' -fuzz FuzzAIGCompose -fuzztime 10s
 	$(GO) test -race -run 'TestChaos|TestDrainRace' ./internal/service
+	$(GO) test -race -run 'TestStore|TestEntry|TestSchedulerStore' ./internal/store ./internal/service
 	$(MAKE) bench-gate-quick
 
-# End-to-end service smoke test: build hqsd, start it, solve the example
-# instance over HTTP in portfolio mode, drain gracefully via SIGTERM.
+# End-to-end service smoke tests: build hqsd, start it, solve the example
+# instance over HTTP in portfolio mode, drain gracefully via SIGTERM; then
+# the persistence drill — solve with -store, kill -9, restart, and the
+# result must be served from disk with its certificate re-verified.
 serve-smoke:
-	$(GO) test -tags smoke -run TestServeSmoke -v ./cmd/hqsd
+	$(GO) test -tags smoke -run 'TestServeSmoke|TestStoreKillRecoverySmoke' -v ./cmd/hqsd
 
 # SAT-core microbenchmarks (propagation throughput, clause arena behavior).
 bench-sat:
@@ -70,7 +81,7 @@ bench:
 
 # Regenerate the committed benchmark baseline on the three PEC families.
 baseline:
-	$(GO) run ./cmd/dqbfbench -family adder,bitcell,pec_xor -count 6 -baseline BENCH_pr7.json
+	$(GO) run ./cmd/dqbfbench -family adder,bitcell,pec_xor -count 6 -baseline BENCH_pr8.json
 
 # Newest committed baseline by PR number. `sort -V` (version sort), not make's
 # lexical $(lastword): pr10 must beat pr6.

@@ -1,0 +1,122 @@
+// Command dqbfstore maintains a persistent result/certificate store written
+// by hqsd -store DIR (see internal/store). It runs offline, against the same
+// directory, between daemon runs.
+//
+// Usage:
+//
+//	dqbfstore -dir DIR stats                # disk usage: entries, bytes, quarantine, certificates
+//	dqbfstore -dir DIR verify               # scrub every entry; quarantine checksum/structure failures
+//	dqbfstore -dir DIR evict -older 168h    # remove entries older than the given age
+//	dqbfstore -dir DIR compact              # delete quarantined files, temp debris, empty shards
+//
+// Exit status is 0 on success, 1 on usage or I/O errors, and 2 when verify
+// quarantined at least one entry (so cron jobs can alert on corruption).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/store"
+)
+
+func main() {
+	dir := flag.String("dir", "", "store directory (as passed to hqsd -store)")
+	asJSON := flag.Bool("json", false, "print machine-readable JSON instead of text")
+	flag.Usage = usage
+	flag.Parse()
+	if *dir == "" || flag.NArg() < 1 {
+		usage()
+		os.Exit(1)
+	}
+
+	s, lost, err := store.Open(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	defer s.Close()
+	if len(lost) > 0 {
+		fmt.Fprintf(os.Stderr, "dqbfstore: previous process died with %d jobs in flight:\n", len(lost))
+		for _, lj := range lost {
+			fmt.Fprintf(os.Stderr, "  job %s formula %.12s started %s\n",
+				lj.ID, lj.Key, time.Unix(lj.StartedUnix, 0).Format(time.RFC3339))
+		}
+	}
+
+	switch cmd := flag.Arg(0); cmd {
+	case "stats":
+		ds, err := s.Scan()
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			emit(ds)
+			return
+		}
+		fmt.Printf("entries       %d (%d bytes)\n", ds.Entries, ds.EntryBytes)
+		fmt.Printf("certificates  %d\n", ds.WithCertificates)
+		fmt.Printf("quarantined   %d (%d bytes)\n", ds.Quarantined, ds.QuarantineBytes)
+
+	case "verify":
+		res, err := s.Verify()
+		if err != nil {
+			fatal(err)
+		}
+		if *asJSON {
+			emit(res)
+		} else {
+			fmt.Printf("checked %d: %d ok, %d quarantined, %d version-skipped\n",
+				res.Checked, res.OK, res.Quarantined, res.VersionSkips)
+		}
+		if res.Quarantined > 0 {
+			os.Exit(2)
+		}
+
+	case "evict":
+		fs := flag.NewFlagSet("evict", flag.ExitOnError)
+		older := fs.Duration("older", 7*24*time.Hour, "evict entries older than this age")
+		fs.Parse(flag.Args()[1:])
+		n, err := s.EvictOlderThan(time.Now().Add(-*older))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("evicted %d entries older than %v\n", n, *older)
+
+	case "compact":
+		n, err := s.Compact()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("removed %d files\n", n)
+
+	default:
+		fmt.Fprintf(os.Stderr, "dqbfstore: unknown command %q\n", cmd)
+		usage()
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: dqbfstore -dir DIR [-json] COMMAND
+
+commands:
+  stats                 disk usage: entries, bytes, quarantine, certificates
+  verify                scrub all entries, quarantine failures (exit 2 if any)
+  evict -older 168h     remove entries older than the given age
+  compact               delete quarantined files, temp debris, empty shards
+`)
+}
+
+func emit(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dqbfstore:", err)
+	os.Exit(1)
+}

@@ -21,9 +21,17 @@
 //
 // Failure handling: engine panics and oracle errors are contained per job
 // (verdict ERROR, worker survives), transient failures are retried with
-// backoff and fall back along hqs → portfolio → idq. The -faults flag
+// backoff and fall back along hqs → portfolio → idq; -retry-attempts,
+// -retry-base-delay, and -retry-max-delay tune the policy. The -faults flag
 // activates a fault-injection plan (see internal/faults) for chaos drills,
 // e.g. -faults 'sat.solve:panic:p=0.1;cache.lookup:error:every=3'.
+//
+// Persistence: -store DIR keeps definitive verdicts and their Skolem
+// certificates in a crash-safe on-disk store (see internal/store) consulted
+// on memory-cache misses; certificates are re-verified before a stored SAT
+// verdict is served, corrupt entries are quarantined and re-solved, and a
+// restart after kill -9 reports which jobs were in flight. The dqbfstore
+// tool maintains the directory offline.
 package main
 
 import (
@@ -40,6 +48,7 @@ import (
 
 	"repro/internal/faults"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -58,6 +67,11 @@ func main() {
 		faultSeed    = flag.Int64("fault-seed", 1, "seed for probabilistic fault rules")
 		traceEvents  = flag.Int("trace-events", 0, "per-job pass-trace retention in events (0 = default 1024, negative = disable)")
 		certify      = flag.Bool("certify", false, "verify a Skolem certificate before reporting any HQS SAT verdict")
+		storeDir     = flag.String("store", "", "directory for the persistent result/certificate store (empty = memory cache only)")
+		historySize  = flag.Int("history", 0, "finished jobs kept queryable before eviction (0 = default 512)")
+		retryMax     = flag.Int("retry-attempts", 0, "runs per engine in the fallback chain, first included (0 = default 2)")
+		retryBase    = flag.Duration("retry-base-delay", 0, "backoff before the first retry, doubling per retry (0 = default 5ms)")
+		retryCeiling = flag.Duration("retry-max-delay", 0, "ceiling on the exponential retry backoff (0 = default 250ms)")
 	)
 	flag.Parse()
 
@@ -76,14 +90,34 @@ func main() {
 		faults.Activate(plan)
 		log.Printf("hqsd: fault injection ACTIVE: %s (seed %d)", *faultSpec, *faultSeed)
 	}
+	var st *store.Store
+	if *storeDir != "" {
+		var lost []store.LostJob
+		st, lost, err = store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hqsd:", err)
+			os.Exit(1)
+		}
+		for _, lj := range lost {
+			log.Printf("hqsd: job %s (formula %.12s) was in flight when the previous process died; it will be re-solved on demand", lj.ID, lj.Key)
+		}
+		log.Printf("hqsd: persistent store open at %s (%d entries, %d jobs lost in previous run)", *storeDir, st.Len(), len(lost))
+	}
 	sched := service.NewScheduler(service.Config{
 		Workers:        *workers,
 		QueueCap:       *queueCap,
 		CacheSize:      *cacheSize,
+		HistorySize:    *historySize,
 		DefaultEngine:  eng,
 		DefaultTimeout: *defTimeout,
 		MaxTimeout:     *maxTimeout,
 		TraceEvents:    *traceEvents,
+		Retry: service.RetryPolicy{
+			MaxAttempts: *retryMax,
+			BaseDelay:   *retryBase,
+			MaxDelay:    *retryCeiling,
+		},
+		Store: st,
 	})
 	srv := newServer(sched)
 	srv.maxBody = *maxBody
@@ -111,6 +145,11 @@ func main() {
 		}
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			log.Printf("hqsd: shutdown: %v", err)
+		}
+		if st != nil {
+			if err := st.Close(); err != nil {
+				log.Printf("hqsd: closing store: %v", err)
+			}
 		}
 	}()
 

@@ -105,3 +105,98 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatal("hqsd did not drain after SIGTERM")
 	}
 }
+
+// TestStoreKillRecoverySmoke is the persistence acceptance drill: an hqsd
+// with -store solves an instance, dies to SIGKILL (no drain, no journal
+// close), and a fresh process over the same directory serves the result from
+// disk — certificate re-verified — instead of re-solving.
+func TestStoreKillRecoverySmoke(t *testing.T) {
+	dir := t.TempDir()
+	bin := filepath.Join(dir, "hqsd")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	storeDir := filepath.Join(dir, "results")
+	instance, err := os.ReadFile("../../examples/example1.dqdimacs")
+	if err != nil {
+		t.Fatalf("read example: %v", err)
+	}
+
+	start := func() (*exec.Cmd, string) {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("reserve port: %v", err)
+		}
+		addr := ln.Addr().String()
+		ln.Close()
+		cmd := exec.Command(bin, "-addr", addr, "-workers", "2", "-store", storeDir, "-certify")
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start hqsd: %v", err)
+		}
+		base := "http://" + addr
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, err := http.Get(base + "/healthz")
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					return cmd, base
+				}
+			}
+			if time.Now().After(deadline) {
+				cmd.Process.Kill()
+				t.Fatalf("hqsd never became healthy: %v", err)
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	solve := func(base string) service.JobInfo {
+		resp, err := http.Post(base+"/solve?engine=idq&timeout=30s", "text/plain", strings.NewReader(string(instance)))
+		if err != nil {
+			t.Fatalf("POST /solve: %v", err)
+		}
+		defer resp.Body.Close()
+		var info service.JobInfo
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK || info.Outcome == nil {
+			t.Fatalf("solve: status %d, info %+v", resp.StatusCode, info)
+		}
+		return info
+	}
+
+	cmd1, base1 := start()
+	defer cmd1.Process.Kill()
+	if out := solve(base1).Outcome; out.Verdict != service.VerdictSat || out.FromStore {
+		t.Fatalf("cold solve: %+v", out)
+	}
+	// kill -9: no drain, no store close, journal left open.
+	if err := cmd1.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	cmd1.Wait()
+
+	cmd2, base2 := start()
+	defer cmd2.Process.Kill()
+	out := solve(base2).Outcome
+	if out.Verdict != service.VerdictSat || !out.FromStore {
+		t.Fatalf("restart did not serve from the store: %+v", out)
+	}
+	var stats service.Stats
+	resp, err := http.Get(base2 + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	resp.Body.Close()
+	if stats.StoreHits != 1 || stats.Store == nil || stats.Store.Hits != 1 {
+		t.Fatalf("post-restart stats: %+v / %+v", stats, stats.Store)
+	}
+	fmt.Printf("smoke: result survived SIGKILL and served from %s with certificate re-verified\n", storeDir)
+	cmd2.Process.Signal(syscall.SIGTERM)
+	cmd2.Wait()
+}

@@ -51,11 +51,23 @@ const (
 	// CertVerify fires before a Skolem-certificate verification in the
 	// service runners; an injected error simulates a corrupted certificate.
 	CertVerify Point = "service.certify"
+	// StoreRead fires on every persistent-store entry read; an injected
+	// error simulates a failing disk (EIO, vanished mount) on the read path.
+	StoreRead Point = "store.read"
+	// StoreWrite fires on every persistent-store entry write, before the
+	// temp file is created; an injected error simulates a full or failing
+	// disk on the write path.
+	StoreWrite Point = "store.write"
+	// StoreCorrupt fires after an entry's bytes are read but before they are
+	// decoded; a firing rule makes the store flip a bit in the payload, so
+	// the real checksum/quarantine machinery runs against real corruption.
+	StoreCorrupt Point = "store.corrupt"
 )
 
 // builtinPoints are the statically defined injection points.
 var builtinPoints = []Point{SATSolve, AIGSweep, AIGFinalSAT, MaxSATSolve,
-	QBFEliminate, SchedDispatch, CacheLookup, CertVerify}
+	QBFEliminate, SchedDispatch, CacheLookup, CertVerify,
+	StoreRead, StoreWrite, StoreCorrupt}
 
 // registry holds dynamically registered points (pipeline passes register
 // one "pipeline.<pass>" point each at init time).

@@ -10,9 +10,11 @@ import (
 	"time"
 
 	"repro/internal/budget"
+	"repro/internal/cert"
 	"repro/internal/dqbf"
 	"repro/internal/faults"
 	"repro/internal/oracle"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -51,6 +53,13 @@ type Config struct {
 	// negative disables per-job tracing). The trace stays queryable with the
 	// job's history entry.
 	TraceEvents int
+	// Store, when non-nil, is the persistent second cache tier: memory-cache
+	// misses consult it before solving, definitive verdicts are written back,
+	// and every running job is journaled so a killed daemon can report what
+	// was in flight. SAT entries served from disk have their Skolem
+	// certificate re-verified first; rejects are quarantined and re-solved.
+	// The scheduler does not close the store — its opener does.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -122,6 +131,11 @@ type Job struct {
 	key string
 	eng Engine
 	bud *budget.Budget
+	// journaled is set once the persistent store has a start record for this
+	// job, so finishJob knows whether a matching done record is owed. Only
+	// the owning worker and its finisher touch it (happens-before via the
+	// queue hand-off and the finish path).
+	journaled bool
 	// trc records the per-pass pipeline trace of every engine attempt; nil
 	// when the scheduler's TraceEvents config disables tracing.
 	trc *trace.Recorder
@@ -185,9 +199,20 @@ func (j *Job) Info() JobInfo {
 // flush, or a panic recovery after a completed hand-off) cannot double-count
 // stats or double-close the done channel.
 func (j *Job) finish(out Outcome) bool {
+	if !j.beginFinish(out) {
+		return false
+	}
+	close(j.done)
+	return true
+}
+
+// beginFinish performs the exactly-once state transition of finish but
+// leaves the done channel open, so the scheduler can persist the outcome
+// durably before any waiter can observe it. The winner MUST close j.done.
+func (j *Job) beginFinish(out Outcome) bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.state == StateDone {
-		j.mu.Unlock()
 		return false
 	}
 	if j.started.IsZero() {
@@ -197,8 +222,6 @@ func (j *Job) finish(out Outcome) bool {
 	j.state = StateDone
 	j.finished = time.Now()
 	j.outcome = out
-	j.mu.Unlock()
-	close(j.done)
 	return true
 }
 
@@ -221,11 +244,18 @@ type Stats struct {
 	// Panics counts engine or worker panics that were contained.
 	Panics    int64 `json:"panics"`
 	CacheHits int64 `json:"cache_hits"`
+	// StoreHits counts submissions answered from the persistent disk tier
+	// (certificates re-verified before serving).
+	StoreHits int64 `json:"store_hits"`
 	Rejected  int64 `json:"rejected"`
-	Queued    int   `json:"queued"`
-	Running   int   `json:"running"`
-	CacheLen  int   `json:"cache_len"`
-	Workers   int   `json:"workers"`
+	// HistoryEvicted counts finished jobs dropped from the bounded job
+	// history; HistoryLen is its current size.
+	HistoryEvicted int64 `json:"history_evicted"`
+	HistoryLen     int   `json:"history_len"`
+	Queued         int   `json:"queued"`
+	Running        int   `json:"running"`
+	CacheLen       int   `json:"cache_len"`
+	Workers        int   `json:"workers"`
 	// Oracle counters aggregate over every persistent incremental SAT
 	// oracle created in this process (one pool per pipeline run), counted
 	// at the oracle layer rather than per job so cache hits and fallbacks
@@ -238,12 +268,16 @@ type Stats struct {
 	// arm is credited, so the table answers which engine actually produces
 	// the verdicts.
 	Engines map[Engine]EngineCounters `json:"engines"`
+	// Store holds the persistent tier's own counters (hits, misses, corrupt,
+	// quarantined, io_errors, …); nil when the daemon runs without -store.
+	Store *store.Stats `json:"store,omitempty"`
 }
 
 // Scheduler runs submitted jobs on a bounded worker pool.
 type Scheduler struct {
 	cfg   Config
 	cache *resultCache
+	store *store.Store // nil without -store; second cache tier below the LRU
 
 	mu       sync.Mutex
 	queue    chan *Job
@@ -255,17 +289,19 @@ type Scheduler struct {
 	wg      sync.WaitGroup
 	running atomic.Int64
 
-	submitted atomic.Int64
-	completed atomic.Int64
-	solved    atomic.Int64
-	unknown   atomic.Int64
-	cancelled atomic.Int64
-	errored   atomic.Int64
-	retries   atomic.Int64
-	fallbacks atomic.Int64
-	panics    atomic.Int64
-	cacheHits atomic.Int64
-	rejected  atomic.Int64
+	submitted      atomic.Int64
+	completed      atomic.Int64
+	solved         atomic.Int64
+	unknown        atomic.Int64
+	cancelled      atomic.Int64
+	errored        atomic.Int64
+	retries        atomic.Int64
+	fallbacks      atomic.Int64
+	panics         atomic.Int64
+	cacheHits      atomic.Int64
+	storeHits      atomic.Int64
+	rejected       atomic.Int64
+	historyEvicted atomic.Int64
 }
 
 // NewScheduler starts a scheduler with cfg (zero values take defaults).
@@ -274,6 +310,7 @@ func NewScheduler(cfg Config) *Scheduler {
 	s := &Scheduler{
 		cfg:   cfg,
 		cache: newResultCache(cfg.CacheSize),
+		store: cfg.Store,
 		queue: make(chan *Job, cfg.QueueCap),
 		jobs:  make(map[string]*Job),
 	}
@@ -311,6 +348,18 @@ func (s *Scheduler) Submit(f *dqbf.Formula, eng Engine, lim Limits) (*Job, error
 	}
 	bl := budget.Limits{Timeout: timeout, Conflicts: lim.Conflicts, Decisions: lim.Decisions, Nodes: lim.Nodes}
 
+	// Both cache tiers are probed before s.mu is taken: the disk tier
+	// re-verifies Skolem certificates (a SAT call) and must not run under the
+	// scheduler lock. A hit found here is finished under the lock below, so
+	// the draining check stays atomic with enqueue/finish.
+	key := CanonicalHash(f)
+	out, hit := s.cacheLookup(key)
+	if hit {
+		out.FromCache = true
+	} else if out, hit = s.storeLookup(f, key); hit {
+		out.FromStore = true
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -321,7 +370,7 @@ func (s *Scheduler) Submit(f *dqbf.Formula, eng Engine, lim Limits) (*Job, error
 	job := &Job{
 		id:        fmt.Sprintf("j%d", s.nextID),
 		f:         f.Clone(),
-		key:       CanonicalHash(f),
+		key:       key,
 		eng:       eng,
 		bud:       budget.New(bl),
 		state:     StateQueued,
@@ -332,10 +381,13 @@ func (s *Scheduler) Submit(f *dqbf.Formula, eng Engine, lim Limits) (*Job, error
 		job.trc = trace.NewRecorder(s.cfg.TraceEvents)
 	}
 
-	if out, ok := s.cacheLookup(job.key); ok {
-		out.FromCache = true
+	if hit {
+		if out.FromStore {
+			s.storeHits.Add(1)
+		} else {
+			s.cacheHits.Add(1)
+		}
 		s.submitted.Add(1)
-		s.cacheHits.Add(1)
 		s.completed.Add(1)
 		s.solved.Add(1)
 		job.finish(out)
@@ -366,6 +418,86 @@ func (s *Scheduler) cacheLookup(key string) (out Outcome, ok bool) {
 	return s.cache.Get(key)
 }
 
+// storeLookup consults the persistent tier after a memory-cache miss. Every
+// failure mode — no store configured, I/O error, corrupt entry, unknown
+// version, rejected certificate, even a panic in the decode path — degrades
+// to a miss so the job solves in memory; the store can make the daemon
+// faster but never wrong. A served SAT verdict has its certificate
+// re-verified against the formula here, and a verified hit is promoted into
+// the memory cache so repeats skip the disk.
+func (s *Scheduler) storeLookup(f *dqbf.Formula, key string) (out Outcome, ok bool) {
+	if s.store == nil {
+		return Outcome{}, false
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.panics.Add(1)
+			out, ok = Outcome{}, false
+		}
+	}()
+	e, err := s.store.Get(key)
+	if err != nil || e == nil {
+		return Outcome{}, false
+	}
+	out = Outcome{Engine: Engine(e.Engine), Reason: "solved"}
+	switch e.Verdict {
+	case store.VerdictSat:
+		if e.Cert == nil {
+			// A bare SAT entry (written by an engine without certificate
+			// support) cannot be re-proved; while certification is on it does
+			// not meet the service's bar, so re-solve instead of trusting it.
+			if certifyHQS.Load() {
+				return Outcome{}, false
+			}
+		} else if err := cert.Check(f, e.Cert); err != nil {
+			// The checksum held but the certificate does not prove the
+			// formula: quarantine the entry and solve fresh. The store must
+			// never return a verdict whose certificate fails the checker.
+			s.store.RejectCert(key, err)
+			return Outcome{}, false
+		}
+		out.Verdict = VerdictSat
+		out.Cert = e.Cert
+	case store.VerdictUnsat:
+		out.Verdict = VerdictUnsat
+	default:
+		return Outcome{}, false
+	}
+	s.cache.Put(key, Outcome{Verdict: out.Verdict, Engine: out.Engine, Reason: out.Reason})
+	return out, true
+}
+
+// storePut persists a definitive verdict (and its verified certificate) to
+// the disk tier. Failures are already counted and logged by the store; the
+// scheduler just moves on — the result stays served from memory.
+func (s *Scheduler) storePut(job *Job, out Outcome) {
+	if s.store == nil || out.FromStore {
+		return
+	}
+	var v store.Verdict
+	switch out.Verdict {
+	case VerdictSat:
+		v = store.VerdictSat
+	case VerdictUnsat:
+		v = store.VerdictUnsat
+	default:
+		return
+	}
+	job.mu.Lock()
+	solveMS := job.finished.Sub(job.started).Milliseconds()
+	job.mu.Unlock()
+	s.store.Put(&store.Entry{
+		Key:         job.key,
+		Verdict:     v,
+		Engine:      string(out.Engine),
+		Conflicts:   out.Conflicts,
+		Decisions:   out.Decisions,
+		SolveMS:     solveMS,
+		CreatedUnix: time.Now().Unix(),
+		Cert:        out.Cert,
+	})
+}
+
 // remember records a finished job in the history, evicting the oldest
 // finished jobs beyond the history bound. Caller holds s.mu.
 func (s *Scheduler) remember(j *Job) {
@@ -374,6 +506,7 @@ func (s *Scheduler) remember(j *Job) {
 	for len(s.doneIDs) > s.cfg.HistorySize {
 		delete(s.jobs, s.doneIDs[0])
 		s.doneIDs = s.doneIDs[1:]
+		s.historyEvicted.Add(1)
 	}
 }
 
@@ -406,30 +539,47 @@ func (s *Scheduler) worker() {
 }
 
 // finishJob completes a job exactly once: the first finisher records stats,
-// feeds the cache, and files the job into history; later racers are no-ops.
+// feeds both cache tiers, and files the job into history; later racers are
+// no-ops. Persistence happens BEFORE the done channel closes: once a waiter
+// has seen a definitive verdict, it is already fsynced on disk, so a kill -9
+// immediately after the response cannot lose a result a client observed.
 func (s *Scheduler) finishJob(job *Job, out Outcome) {
-	if !job.finish(out) {
+	if !job.beginFinish(out) {
 		return
 	}
-	s.completed.Add(1)
-	switch out.Verdict {
-	case VerdictSat, VerdictUnsat:
-		s.solved.Add(1)
-		// Only definitive verdicts are cached: Unknown depends on the
-		// budget that produced it and Error on the failure that did.
-		s.cache.Put(job.key, Outcome{
-			Verdict: out.Verdict,
-			Engine:  out.Engine,
-			Reason:  out.Reason,
-		})
-	case VerdictError:
-		s.errored.Add(1)
-	default:
-		s.unknown.Add(1)
-		if out.Reason == "cancelled" {
-			s.cancelled.Add(1)
+	func() {
+		// The done channel below must close no matter what the persistence
+		// path does — a panicking store may cost durability, never a hang.
+		defer func() {
+			if r := recover(); r != nil {
+				s.panics.Add(1)
+			}
+		}()
+		s.completed.Add(1)
+		switch out.Verdict {
+		case VerdictSat, VerdictUnsat:
+			s.solved.Add(1)
+			// Only definitive verdicts are cached: Unknown depends on the
+			// budget that produced it and Error on the failure that did.
+			s.cache.Put(job.key, Outcome{
+				Verdict: out.Verdict,
+				Engine:  out.Engine,
+				Reason:  out.Reason,
+			})
+			s.storePut(job, out)
+		case VerdictError:
+			s.errored.Add(1)
+		default:
+			s.unknown.Add(1)
+			if out.Reason == "cancelled" {
+				s.cancelled.Add(1)
+			}
 		}
-	}
+		if job.journaled {
+			s.store.JournalDone(job.id)
+		}
+	}()
+	close(job.done)
 	s.mu.Lock()
 	s.remember(job)
 	s.mu.Unlock()
@@ -461,6 +611,13 @@ func (s *Scheduler) runJob(job *Job) {
 	job.state = StateRunning
 	job.started = time.Now()
 	job.mu.Unlock()
+
+	// Journal the start before solving so a killed process can report this
+	// job as lost on its next start.
+	if s.store != nil {
+		s.store.JournalStart(job.id, job.key)
+		job.journaled = true
+	}
 
 	// Fault-injection seam: worker dispatch, before any engine runs.
 	if err := faults.Fire(faults.SchedDispatch); err != nil {
@@ -553,26 +710,37 @@ func (s *Scheduler) QueueFree() int {
 // Stats returns a snapshot of the scheduler counters.
 func (s *Scheduler) Stats() Stats {
 	oq, oi, orb := oracle.GlobalStats()
-	return Stats{
-		Submitted: s.submitted.Load(),
-		Completed: s.completed.Load(),
-		Solved:    s.solved.Load(),
-		Unknown:   s.unknown.Load(),
-		Cancelled: s.cancelled.Load(),
-		Errors:    s.errored.Load(),
-		Retries:   s.retries.Load(),
-		Fallbacks: s.fallbacks.Load(),
-		Panics:    s.panics.Load(),
-		CacheHits: s.cacheHits.Load(),
-		Rejected:  s.rejected.Load(),
-		Queued:    len(s.queue),
-		Running:   int(s.running.Load()),
-		CacheLen:  s.cache.Len(),
-		Workers:   s.cfg.Workers,
+	s.mu.Lock()
+	historyLen := len(s.doneIDs)
+	s.mu.Unlock()
+	st := Stats{
+		Submitted:      s.submitted.Load(),
+		Completed:      s.completed.Load(),
+		Solved:         s.solved.Load(),
+		Unknown:        s.unknown.Load(),
+		Cancelled:      s.cancelled.Load(),
+		Errors:         s.errored.Load(),
+		Retries:        s.retries.Load(),
+		Fallbacks:      s.fallbacks.Load(),
+		Panics:         s.panics.Load(),
+		CacheHits:      s.cacheHits.Load(),
+		StoreHits:      s.storeHits.Load(),
+		Rejected:       s.rejected.Load(),
+		HistoryEvicted: s.historyEvicted.Load(),
+		HistoryLen:     historyLen,
+		Queued:         len(s.queue),
+		Running:        int(s.running.Load()),
+		CacheLen:       s.cache.Len(),
+		Workers:        s.cfg.Workers,
 
 		OracleQueries:     oq,
 		OracleIncremental: oi,
 		OracleRebuilds:    orb,
 		Engines:           EngineStats(),
 	}
+	if s.store != nil {
+		ss := s.store.Stats()
+		st.Store = &ss
+	}
+	return st
 }

@@ -194,8 +194,11 @@ type Outcome struct {
 	// PanicStack is the captured goroutine stack when the failure was a
 	// panic, preserved in the job record for postmortems.
 	PanicStack string `json:"panic_stack,omitempty"`
-	// FromCache marks a result served from the scheduler's LRU cache.
+	// FromCache marks a result served from the scheduler's in-memory LRU.
 	FromCache bool `json:"from_cache,omitempty"`
+	// FromStore marks a result served from the persistent on-disk store
+	// (its certificate, when present, was re-verified before serving).
+	FromStore bool `json:"from_store,omitempty"`
 	// Attempts counts engine runs performed for this outcome, including
 	// retries and fallback runs (0 for cache hits, otherwise >= 1).
 	Attempts int `json:"attempts,omitempty"`
@@ -206,6 +209,12 @@ type Outcome struct {
 	// budget across every oracle call of every engine involved.
 	Conflicts int64 `json:"conflicts"`
 	Decisions int64 `json:"decisions"`
+	// Cert is the verified Skolem certificate backing a SAT verdict, carried
+	// so the scheduler's persistent store can write it next to the result
+	// (and re-verify it on every future load). Nil for UNSAT, for engines
+	// that emitted none, and for HQS/defex runs without -certify. Not part
+	// of the JSON surface — certificates are large and internal.
+	Cert *cert.Certificate `json:"-"`
 }
 
 // Run decides f with the given engine under budget b (nil means unlimited).
@@ -322,6 +331,7 @@ func runHQS(f *dqbf.Formula, b *budget.Budget, sink trace.Sink) Outcome {
 						Error:   fmt.Sprintf("skolem certificate rejected: %v", err),
 					}
 				}
+				out.Cert = res.Certificate
 			}
 			out.Verdict = VerdictSat
 		} else {
@@ -348,7 +358,8 @@ func runIDQ(f *dqbf.Formula, b *budget.Budget) Outcome {
 			// certificate the checker rejects means the solver (or the
 			// memory under it) is broken, and the honest answer is Error,
 			// not a silent SAT.
-			if err := verifyCertificate(f, res.Certificate); err != nil {
+			ac, err := verifyCertificate(f, res.Certificate)
+			if err != nil {
 				return Outcome{
 					Verdict: VerdictError,
 					Engine:  EngineIDQ,
@@ -356,6 +367,7 @@ func runIDQ(f *dqbf.Formula, b *budget.Budget) Outcome {
 					Error:   fmt.Sprintf("skolem certificate rejected: %v", err),
 				}
 			}
+			out.Cert = ac
 			out.Verdict = VerdictSat
 		} else {
 			out.Verdict = VerdictUnsat
@@ -394,6 +406,7 @@ func runDefex(f *dqbf.Formula, b *budget.Budget, sink trace.Sink) Outcome {
 						Error:   fmt.Sprintf("skolem certificate rejected: %v", err),
 					}
 				}
+				out.Cert = res.Certificate
 			}
 			out.Verdict = VerdictSat
 		} else {
@@ -434,7 +447,8 @@ func runExpand(f *dqbf.Formula, b *budget.Budget) Outcome {
 		return out
 	}
 	if res.Sat {
-		if err := verifyCertificate(f, res.Certificate); err != nil {
+		ac, err := verifyCertificate(f, res.Certificate)
+		if err != nil {
 			return Outcome{
 				Verdict: VerdictError,
 				Engine:  EngineExpand,
@@ -442,6 +456,7 @@ func runExpand(f *dqbf.Formula, b *budget.Budget) Outcome {
 				Error:   fmt.Sprintf("skolem certificate rejected: %v", err),
 			}
 		}
+		out.Cert = ac
 		out.Verdict = VerdictSat
 	} else {
 		out.Verdict = VerdictUnsat
@@ -452,21 +467,25 @@ func runExpand(f *dqbf.Formula, b *budget.Budget) Outcome {
 
 // verifyCertificate checks a table-based Skolem certificate against the
 // formula by lifting it into the shared AIG checker (internal/cert) — the
-// same code path that validates HQS-extracted certificates. A nil
-// certificate passes — engines without certificate support report bare
-// verdicts.
-func verifyCertificate(f *dqbf.Formula, c *dqbf.Certificate) error {
+// same code path that validates HQS-extracted certificates — and returns
+// the lifted certificate so the outcome can carry it to the persistent
+// store. A nil certificate passes with a nil result — engines without
+// certificate support report bare verdicts.
+func verifyCertificate(f *dqbf.Formula, c *dqbf.Certificate) (*cert.Certificate, error) {
 	if err := faults.Fire(faults.CertVerify); err != nil {
-		return err
+		return nil, err
 	}
 	if c == nil {
-		return nil
+		return nil, nil
 	}
 	ac, err := cert.FromTables(f, c)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	return cert.Check(f, ac)
+	if err := cert.Check(f, ac); err != nil {
+		return nil, err
+	}
+	return ac, nil
 }
 
 // verifySkolem checks an HQS-extracted certificate (one independent SAT

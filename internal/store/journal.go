@@ -1,0 +1,130 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+)
+
+// journalName is the append-only in-flight job journal inside the store dir.
+const journalName = "journal.log"
+
+// LostJob is one job that was in flight when a previous process died: a
+// start record with no matching done record. The daemon reports these at
+// startup so operators (and, later, cluster peers) know what was lost —
+// the work itself is simply re-solved on the next request.
+type LostJob struct {
+	// ID is the scheduler job ID of the lost job.
+	ID string
+	// Key is the canonical formula hash the job was solving.
+	Key string
+	// StartedUnix is when the job started (unix seconds).
+	StartedUnix int64
+}
+
+// journal is the append-only in-flight record: one "S" line when a worker
+// picks a job up, one "D" line when it finishes. Lines are synced on every
+// append — jobs cost SAT solving, one fsync is noise next to that — so a
+// kill -9 loses at most the record of the instant it interrupts. A line is
+// "S <id> <key> <unix>" or "D <id>".
+type journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+func openJournal(dir string) (*journal, []LostJob, error) {
+	path := filepath.Join(dir, journalName)
+	lost, err := recoverJournal(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Recovery consumed the old journal; start a fresh one so lost jobs are
+	// reported exactly once and the file cannot grow without bound across
+	// restarts.
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &journal{f: f, path: path}, lost, nil
+}
+
+// recoverJournal reads a previous process's journal and returns its
+// unmatched start records. A missing journal means a clean start. Malformed
+// lines (a torn final append) are skipped, not fatal: the journal is a
+// best-effort flight recorder, never a correctness dependency.
+func recoverJournal(path string) ([]LostJob, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	open := make(map[string]LostJob)
+	var order []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		switch {
+		case len(fields) == 4 && fields[0] == "S":
+			var started int64
+			fmt.Sscanf(fields[3], "%d", &started)
+			if _, dup := open[fields[1]]; !dup {
+				order = append(order, fields[1])
+			}
+			open[fields[1]] = LostJob{ID: fields[1], Key: fields[2], StartedUnix: started}
+		case len(fields) == 2 && fields[0] == "D":
+			delete(open, fields[1])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	var lost []LostJob
+	for _, id := range order {
+		if j, ok := open[id]; ok {
+			lost = append(lost, j)
+		}
+	}
+	return lost, nil
+}
+
+// Start records that job id began solving the formula with the given key.
+func (j *journal) Start(id, key string) error {
+	return j.append(fmt.Sprintf("S %s %s %d\n", id, key, time.Now().Unix()))
+}
+
+// Done records that job id reached a terminal state.
+func (j *journal) Done(id string) error {
+	return j.append(fmt.Sprintf("D %s\n", id))
+}
+
+func (j *journal) append(line string) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("store: journal closed")
+	}
+	if _, err := j.f.WriteString(line); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func (j *journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
