@@ -14,10 +14,11 @@ vet:
 # Race-check the packages with concurrent code paths (the parallel SAT
 # sweep, the SAT substrate it drives, the job scheduler/portfolio and the
 # defex/expand engines racing inside it, the fault-injection plumbing they
-# share, the daemon's HTTP handlers, and the certificate checker the
-# portfolio arms consult concurrently).
+# share, the daemon's HTTP handlers, the certificate checker the portfolio
+# arms consult concurrently, and the ingestion/PQE layers the daemon calls
+# from its handler goroutines).
 race:
-	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/defex ./internal/expand ./internal/service ./internal/store ./internal/faults ./internal/leakcheck ./cmd/hqsd
+	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/defex ./internal/expand ./internal/service ./internal/store ./internal/faults ./internal/leakcheck ./internal/problem ./internal/pqe ./cmd/hqsd
 
 # Differential fuzzing smoke run: 200 random instances, every solver
 # configuration against the brute-force reference, with Skolem certificate
@@ -27,10 +28,12 @@ fuzz-smoke:
 	$(GO) run ./cmd/dqbffuzz -n 200 -seed 1 -cert
 
 # Native go-fuzz harnesses, run briefly from the committed corpora: the
-# DQDIMACS reader (no panics; accepted input round-trips) and the AIG
-# compose/cofactor identities the certificate extractor relies on.
+# DQDIMACS reader (no panics; accepted input round-trips), the AIGER reader
+# (no panics; accepted input normalizes to a read/write fixpoint), and the
+# AIG compose/cofactor identities the certificate extractor relies on.
 fuzz-native:
 	$(GO) test ./internal/dqbf -run '^$$' -fuzz FuzzDQDIMACSReader -fuzztime 10s
+	$(GO) test ./internal/problem -run '^$$' -fuzz FuzzAIGERReader -fuzztime 10s
 	$(GO) test ./internal/aig -run '^$$' -fuzz FuzzAIGCompose -fuzztime 10s
 
 # Chaos drill under the race detector: fault-injected panics, errors, and
@@ -52,9 +55,10 @@ chaos-store:
 check:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/defex ./internal/expand ./internal/service ./internal/store ./internal/faults ./internal/leakcheck ./cmd/hqsd
+	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/defex ./internal/expand ./internal/service ./internal/store ./internal/faults ./internal/leakcheck ./internal/problem ./internal/pqe ./cmd/hqsd
 	$(GO) run ./cmd/dqbffuzz -n 200 -seed 1 -cert
 	$(GO) test ./internal/dqbf -run '^$$' -fuzz FuzzDQDIMACSReader -fuzztime 10s
+	$(GO) test ./internal/problem -run '^$$' -fuzz FuzzAIGERReader -fuzztime 10s
 	$(GO) test ./internal/aig -run '^$$' -fuzz FuzzAIGCompose -fuzztime 10s
 	$(GO) test -race -run 'TestChaos|TestDrainRace' ./internal/service
 	$(GO) test -race -run 'TestStore|TestEntry|TestSchedulerStore' ./internal/store ./internal/service
@@ -79,9 +83,10 @@ bench-sweep:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x .
 
-# Regenerate the committed benchmark baseline on the three PEC families.
+# Regenerate the committed benchmark baseline on the PEC families plus the
+# BENCH-ingested adder-miter circuit family.
 baseline:
-	$(GO) run ./cmd/dqbfbench -family adder,bitcell,pec_xor -count 6 -baseline BENCH_pr8.json
+	$(GO) run ./cmd/dqbfbench -family adder,bitcell,pec_xor,circuit -count 6 -baseline BENCH_pr9.json
 
 # Newest committed baseline by PR number. `sort -V` (version sort), not make's
 # lexical $(lastword): pr10 must beat pr6.
@@ -91,13 +96,13 @@ LATEST_BASELINE = $$(ls BENCH_pr*.json | sort -V | tail -1)
 # fewer instances or its wall time grows >10% over the newest committed
 # BENCH_prN.json. Run on the baseline host; thresholds assume an idle machine.
 bench-gate:
-	$(GO) run ./cmd/dqbfbench -family adder,bitcell,pec_xor -count 6 -gate $(LATEST_BASELINE)
+	$(GO) run ./cmd/dqbfbench -family adder,bitcell,pec_xor,circuit -count 6 -gate $(LATEST_BASELINE)
 
 # Quick-mode smoke for `make check`: same campaign, generous +100% threshold —
 # catches solved-count losses and order-of-magnitude slowdowns without CI
 # timing noise failing the build.
 bench-gate-quick:
-	$(GO) run ./cmd/dqbfbench -family adder,bitcell,pec_xor -count 6 -gate $(LATEST_BASELINE) -gate-threshold 1.0
+	$(GO) run ./cmd/dqbfbench -family adder,bitcell,pec_xor,circuit -count 6 -gate $(LATEST_BASELINE) -gate-threshold 1.0
 
 # Diff two committed baselines: make bench-compare OLD=BENCH_pr1.json NEW=BENCH_pr6.json
 bench-compare:

@@ -32,7 +32,7 @@ import (
 
 func main() {
 	var (
-		family     = flag.String("family", "", "comma-separated families to run (adder, bitcell, lookahead, pec_xor, z4, comp, C432)")
+		family     = flag.String("family", "", "comma-separated families to run (adder, bitcell, lookahead, pec_xor, z4, comp, C432; extensions: mult, mux, circuit)")
 		count      = flag.Int("count", 20, "instances per family")
 		width      = flag.Int("width", 4, "maximum circuit width parameter")
 		seed       = flag.Int64("seed", 20150309, "generation seed")
@@ -47,7 +47,7 @@ func main() {
 		ablation   = flag.Bool("ablation", false, "run the design-choice ablations (HQS and defex) instead of the HQS-vs-iDQ comparison")
 		portfolio  = flag.Bool("portfolio", false, "race the four-arm service portfolio over the instances and print per-engine win statistics")
 		scaling    = flag.Bool("scaling", false, "run a width-scaling study for the selected family (default adder)")
-		extensions = flag.Bool("extensions", false, "include the beyond-paper families (mult, mux)")
+		extensions = flag.Bool("extensions", false, "include the beyond-paper families (mult, mux, circuit)")
 		export     = flag.String("export", "", "write the generated instances as DQDIMACS files into this directory")
 		compare    = flag.String("compare", "", "OLD,NEW: compare two committed baseline JSON files and exit")
 		gate       = flag.String("gate", "", "run the campaign and gate it against this committed baseline JSON (exit 1 on regression)")

@@ -65,7 +65,7 @@ func main() {
 		verdicts := map[string]bool{}
 
 		for name, opt := range hqsVariants {
-			res := core.New(opt).Solve(f)
+			res := core.New(opt).SolveDQBF(f)
 			if res.Status != core.Solved {
 				fail(f, fmt.Sprintf("%s did not finish: %v", name, res.Status))
 				bad++

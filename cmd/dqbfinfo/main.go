@@ -1,8 +1,10 @@
-// Command dqbfinfo analyzes a DQDIMACS formula without solving it: prefix
-// shape, dependency-graph cycles (Definition 4 / Theorem 4), QBF
-// expressibility (Theorem 3), the minimum universal elimination set
-// (Equations 1–2), and — for already-linear prefixes — the equivalent QBF
-// block structure.
+// Command dqbfinfo analyzes a problem without solving it. It ingests any
+// supported input format — DQDIMACS, QDIMACS, AIGER, BENCH, or a PQE query
+// — reporting the detected format and problem kind, then: prefix shape,
+// dependency-graph cycles (Definition 4 / Theorem 4), QBF expressibility
+// (Theorem 3), the minimum universal elimination set (Equations 1-2), and,
+// for already-linear prefixes, the equivalent QBF block structure. For a
+// PQE query it reports the sizes of the F/G split instead.
 package main
 
 import (
@@ -13,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dqbf"
+	"repro/internal/problem"
 )
 
 func main() {
@@ -20,6 +23,7 @@ func main() {
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
+	hint := problem.Format("")
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
@@ -27,14 +31,30 @@ func main() {
 		}
 		defer f.Close()
 		in = f
+		hint = problem.FormatFromPath(flag.Arg(0))
 	}
-	f, err := dqbf.ParseDQDIMACS(in)
+	data, err := io.ReadAll(in)
 	if err != nil {
 		fatal(err)
 	}
-	if err := f.Validate(); err != nil {
+	p, err := problem.ParseBytes(data, hint)
+	if err != nil {
 		fatal(err)
 	}
+	if err := p.Validate(); err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("format           %s\n", p.Format)
+	fmt.Printf("kind             %s\n", p.Kind)
+	if p.Kind == problem.KindPQE {
+		q := p.PQE
+		fmt.Printf("variables        %d (%d quantified, %d free)\n",
+			q.NumVars, len(q.X), len(q.FreeVars()))
+		fmt.Printf("clauses          %d in F (taken out of scope), %d in G\n", len(q.F), len(q.G))
+		return
+	}
+	f := p.Formula
 
 	fmt.Printf("variables        %d (%d universal, %d existential)\n",
 		f.Matrix.NumVars, len(f.Univ), len(f.Exist))

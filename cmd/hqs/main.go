@@ -1,13 +1,18 @@
-// Command hqs is the HQS DQBF solver: it reads a formula in DQDIMACS (or
-// QDIMACS) format and decides it by quantifier elimination, printing SAT,
+// Command hqs is the HQS DQBF solver: it reads a problem in any supported
+// input format — DQDIMACS, QDIMACS, AIGER (ascii or binary), or an ISCAS-85
+// BENCH netlist — and decides it by quantifier elimination, printing SAT,
 // UNSAT, or UNKNOWN and exiting with the conventional solver exit codes
 // (10 for SAT, 20 for UNSAT, 1 for errors, 2 for unknown/resource-outs).
+// The format is detected from the file extension or, for stdin and unknown
+// extensions, from the content itself. A PQE query ("p pqe" header) is
+// answered directly: the computed clause set Q with Q ∧ ∃X[G] ≡ ∃X[F ∧ G]
+// is printed as DIMACS clauses and the exit code is 0.
 //
 // Usage:
 //
-//	hqs [flags] [file.dqdimacs]
+//	hqs [flags] [file.{dqdimacs,qdimacs,aag,aig,bench,pqe}]
 //
-// With no file argument the formula is read from standard input. The
+// With no file argument the problem is read from standard input. The
 // -engine flag can redirect the solve to the iDQ baseline, the
 // definition-extraction engine (defex), plain universal expansion, or a
 // portfolio racing all four; -timeout is enforced through a cancellable budget,
@@ -30,7 +35,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/cert"
 	"repro/internal/core"
-	"repro/internal/dqbf"
+	"repro/internal/problem"
 	"repro/internal/service"
 	"repro/internal/trace"
 )
@@ -54,6 +59,7 @@ func main() {
 	flag.Parse()
 
 	var in io.Reader = os.Stdin
+	hint := problem.Format("")
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
@@ -62,18 +68,29 @@ func main() {
 		}
 		defer f.Close()
 		in = f
+		hint = problem.FormatFromPath(flag.Arg(0))
 	}
-	formula, err := dqbf.ParseDQDIMACS(in)
+	data, err := io.ReadAll(in)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hqs:", err)
 		os.Exit(1)
 	}
-	if err := formula.Validate(); err != nil {
+	prob, err := problem.ParseBytes(data, hint)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hqs:", err)
+		os.Exit(1)
+	}
+	if err := prob.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "hqs:", err)
 		os.Exit(1)
 	}
 
 	bud := budget.New(budget.Limits{Timeout: *timeout, Nodes: *nodeLimit})
+
+	if prob.Kind == problem.KindPQE {
+		runPQE(prob, bud)
+	}
+	formula := prob.Formula
 
 	// Assemble the trace sink: a bounded recorder backing the human table
 	// (-trace) and/or a JSONL stream (-trace-json). Both see the same events.
@@ -107,7 +124,7 @@ func main() {
 		// The service path re-checks HQS SAT answers itself (and always checks
 		// iDQ certificates); -cert opts the HQS arms in.
 		service.SetCertifyHQS(*certFlag)
-		runService(formula, eng, bud, *stats, sink, rec)
+		runService(prob, eng, bud, *stats, sink, rec)
 	}
 
 	opt := core.DefaultOptions()
@@ -140,7 +157,7 @@ func main() {
 	}
 
 	start := time.Now()
-	res := core.New(opt).Solve(formula)
+	res := core.New(opt).Solve(prob)
 	elapsed := time.Since(start)
 
 	if rec != nil {
@@ -199,13 +216,37 @@ func main() {
 	os.Exit(2)
 }
 
-// runService decides the formula through internal/service (engines other
+// runPQE answers a PQE query and exits: the computed clause set is printed
+// in DIMACS form ("c Q" header, one 0-terminated line per clause), a budget
+// stop prints UNKNOWN with exit code 2, and failures exit 1.
+func runPQE(p *problem.Problem, bud *budget.Budget) {
+	res, err := service.SolvePQE(p.PQE, bud, nil)
+	if err != nil {
+		if bud.Stopped() {
+			fmt.Println("UNKNOWN")
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "hqs:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("c pqe rounds=%d sat_calls=%d blocked=%d\n", res.Rounds, res.SATCalls, res.Blocked)
+	fmt.Printf("p cnf %d %d\n", p.PQE.NumVars, len(res.Q))
+	for _, c := range res.Q {
+		for _, l := range c {
+			fmt.Printf("%d ", l.Dimacs())
+		}
+		fmt.Println("0")
+	}
+	os.Exit(0)
+}
+
+// runService decides the problem through internal/service (engines other
 // than the native hqs core) and exits with the solver exit codes. The HQS
 // arm of the selected engine emits pass events to sink; rec backs the
 // -trace table.
-func runService(f *dqbf.Formula, eng service.Engine, bud *budget.Budget, stats bool, sink trace.Sink, rec *trace.Recorder) {
+func runService(p *problem.Problem, eng service.Engine, bud *budget.Budget, stats bool, sink trace.Sink, rec *trace.Recorder) {
 	start := time.Now()
-	out, err := service.RunTraced(f, eng, bud, sink)
+	out, err := service.RunTracedProblem(p, eng, bud, sink)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hqs:", err)
 		os.Exit(1)

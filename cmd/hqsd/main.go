@@ -1,20 +1,31 @@
-// Command hqsd serves the DQBF solvers over HTTP: clients POST DQDIMACS
-// instances, the daemon schedules them on a bounded worker pool (engine hqs,
-// idq, defex, expand, or a portfolio racing all four), and results are
-// polled or awaited as JSON. SIGTERM/SIGINT triggers a graceful drain: the health check flips to
-// 503, queued and running jobs finish (up to -drain-timeout, after which
-// they are cancelled), then the listener shuts down.
+// Command hqsd serves the DQBF solvers over HTTP: clients POST problem
+// instances in any supported format — DQDIMACS, QDIMACS, AIGER, or BENCH —
+// the daemon schedules them on a bounded worker pool (engine hqs, idq,
+// defex, expand, or a portfolio racing all four), and results are polled or
+// awaited as JSON. The input format is taken from the Content-Type header
+// when it names one (application/x-dqdimacs, -qdimacs, -aiger, -bench,
+// -pqe) and sniffed from the body otherwise, and the cache/store key is the
+// canonical hash of the normalized problem, so the same instance POSTed in
+// different formats shares one cache entry. SIGTERM/SIGINT triggers a
+// graceful drain: the health check flips to 503, queued and running jobs
+// finish (up to -drain-timeout, after which they are cancelled), then the
+// listener shuts down.
 //
 // API:
 //
-//	POST   /jobs?engine=portfolio&timeout=30s   body: DQDIMACS  -> 202 job snapshot | 429 queue full
+//	POST   /jobs?engine=portfolio&timeout=30s   body: problem   -> 202 job snapshot | 429 queue full
 //	GET    /jobs/{id}                                           -> job snapshot
 //	GET    /jobs/{id}/trace                                     -> per-pass pipeline trace (see internal/trace)
 //	DELETE /jobs/{id}                                           -> cancel job
-//	POST   /solve?engine=hqs&timeout=10s        body: DQDIMACS  -> 200 finished job | 504 request timeout
+//	POST   /solve?engine=hqs&timeout=10s        body: problem   -> 200 finished job | 504 request timeout
+//	POST   /pqe?timeout=10s                     body: PQE query -> 200 clause set Q | 400 not a PQE query
 //	GET    /healthz                                             -> liveness: 200 ok | 503 shutting down
 //	GET    /readyz                                              -> readiness: 200 ready | 503 draining or saturated
 //	GET    /stats                                               -> scheduler counters
+//
+// A PQE query ("p pqe" header, see internal/problem) is answered
+// synchronously on /pqe with the clause set Q satisfying
+// Q ∧ ∃X[G] ≡ ∃X[F ∧ G]; POSTing one to /solve is a 400.
 //
 // Limit query parameters: timeout (Go duration), conflicts, decisions
 // (CDCL caps), nodes (AIG node cap). Oversized bodies get 413 (-max-body).

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"runtime/debug"
@@ -11,7 +12,9 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/dqbf"
+	"repro/internal/budget"
+	"repro/internal/faults"
+	"repro/internal/problem"
 	"repro/internal/service"
 	"repro/internal/trace"
 )
@@ -22,7 +25,7 @@ type server struct {
 	// healthy flips to false when shutdown begins so load balancers stop
 	// routing to a draining instance before the listener closes.
 	healthy atomic.Bool
-	// maxBody bounds request bodies (DQDIMACS text) in bytes.
+	// maxBody bounds request bodies (problem text in any format) in bytes.
 	maxBody int64
 	// requestTimeout bounds a blocking /solve request; 0 disables the bound
 	// (the job's own timeout still applies).
@@ -42,6 +45,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("DELETE /jobs/{id}", s.handleCancel)
 	mux.HandleFunc("POST /solve", s.handleSolve)
+	mux.HandleFunc("POST /pqe", s.handlePQE)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /stats", s.handleStats)
@@ -77,21 +81,21 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
-// parseJobRequest reads a DQDIMACS body and the engine/limit query
-// parameters shared by /jobs and /solve.
-func (s *server) parseJobRequest(w http.ResponseWriter, r *http.Request) (*dqbf.Formula, service.Engine, service.Limits, bool) {
+// parseLimits reads the engine/limit query parameters shared by /jobs,
+// /solve, and /pqe.
+func (s *server) parseLimits(w http.ResponseWriter, r *http.Request) (service.Engine, service.Limits, bool) {
 	q := r.URL.Query()
 	eng, err := service.ParseEngine(q.Get("engine"))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
-		return nil, "", service.Limits{}, false
+		return "", service.Limits{}, false
 	}
 	var lim service.Limits
 	if v := q.Get("timeout"); v != "" {
 		d, err := time.ParseDuration(v)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("bad timeout: %w", err))
-			return nil, "", service.Limits{}, false
+			return "", service.Limits{}, false
 		}
 		lim.Timeout = d
 	}
@@ -104,39 +108,72 @@ func (s *server) parseJobRequest(w http.ResponseWriter, r *http.Request) (*dqbf.
 	}
 	if lim.Conflicts, err = intParam("conflicts"); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad conflicts: %w", err))
-		return nil, "", service.Limits{}, false
+		return "", service.Limits{}, false
 	}
 	if lim.Decisions, err = intParam("decisions"); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad decisions: %w", err))
-		return nil, "", service.Limits{}, false
+		return "", service.Limits{}, false
 	}
 	nodes, err := intParam("nodes")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad nodes: %w", err))
-		return nil, "", service.Limits{}, false
+		return "", service.Limits{}, false
 	}
 	lim.Nodes = int(nodes)
+	return eng, lim, true
+}
 
-	f, err := dqbf.ParseDQDIMACS(http.MaxBytesReader(w, r.Body, s.maxBody))
+// readProblem ingests the request body through the unified problem layer:
+// the Content-Type header is the format hint when it names a known format
+// (application/x-dqdimacs, -qdimacs, -aiger, -bench, -pqe); anything else —
+// including the generic text/plain curl sends — falls back to content
+// sniffing, so clients can POST any supported format to any ingesting
+// endpoint without ceremony.
+func (s *server) readProblem(w http.ResponseWriter, r *http.Request) (*problem.Problem, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
 			writeError(w, http.StatusRequestEntityTooLarge,
 				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
-			return nil, "", service.Limits{}, false
+			return nil, false
 		}
 		writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	p, err := problem.ParseBytes(data, problem.FormatFromContentType(r.Header.Get("Content-Type")))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	return p, true
+}
+
+// parseJobRequest reads a problem body (any supported format) and the
+// engine/limit query parameters shared by /jobs and /solve.
+func (s *server) parseJobRequest(w http.ResponseWriter, r *http.Request) (*problem.Problem, service.Engine, service.Limits, bool) {
+	eng, lim, ok := s.parseLimits(w, r)
+	if !ok {
 		return nil, "", service.Limits{}, false
 	}
-	return f, eng, lim, true
+	p, ok := s.readProblem(w, r)
+	if !ok {
+		return nil, "", service.Limits{}, false
+	}
+	if p.Kind == problem.KindPQE {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("PQE queries are not solver jobs; POST them to /pqe"))
+		return nil, "", service.Limits{}, false
+	}
+	return p, eng, lim, true
 }
 
 func (s *server) submit(w http.ResponseWriter, r *http.Request) (*service.Job, bool) {
-	f, eng, lim, ok := s.parseJobRequest(w, r)
+	p, eng, lim, ok := s.parseJobRequest(w, r)
 	if !ok {
 		return nil, false
 	}
-	job, err := s.sched.Submit(f, eng, lim)
+	job, err := s.sched.SubmitProblem(p, eng, lim)
 	switch {
 	case errors.Is(err, service.ErrQueueFull):
 		// Load shedding: the client should back off and retry, which is 429,
@@ -188,6 +225,60 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.sched.Cancel(job.ID())
 		<-job.Done()
 	}
+}
+
+// handlePQE answers a partial-quantifier-elimination query synchronously:
+// the body must be a PQE problem ("p pqe" header; Content-Type
+// application/x-pqe or sniffed), the timeout/conflicts/decisions query
+// parameters bound the query, and the response carries the computed clause
+// set Q (DIMACS literal arrays) with Q ∧ ∃X[G] ≡ ∃X[F ∧ G], plus the
+// canonical hash of the query and the engine's round counters. A budget
+// stop degrades to {"status": "unknown"}; internal failures are 500s.
+func (s *server) handlePQE(w http.ResponseWriter, r *http.Request) {
+	_, lim, ok := s.parseLimits(w, r)
+	if !ok {
+		return
+	}
+	p, ok := s.readProblem(w, r)
+	if !ok {
+		return
+	}
+	if p.Kind != problem.KindPQE {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("/pqe wants a PQE query (\"p pqe\" header), got a %s problem; POST it to /solve", p.Kind))
+		return
+	}
+	b := budget.New(budget.Limits{Timeout: lim.Timeout, Conflicts: lim.Conflicts, Decisions: lim.Decisions})
+	res, err := service.SolvePQE(p.PQE, b, nil)
+	if err != nil {
+		if b.Stopped() || errors.Is(err, faults.ErrUnknown) {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"status": "unknown",
+				"reason": err.Error(),
+			})
+			return
+		}
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	clauses := make([][]int, len(res.Q))
+	for i, c := range res.Q {
+		lits := make([]int, len(c))
+		for j, l := range c {
+			lits[j] = l.Dimacs()
+		}
+		clauses[i] = lits
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"hash":      p.CanonicalHash(),
+		"clauses":   clauses,
+		"rounds":    res.Rounds,
+		"sat_calls": res.SATCalls,
+		"blocked":   res.Blocked,
+		"conflicts": b.ConflictsUsed(),
+		"decisions": b.DecisionsUsed(),
+	})
 }
 
 func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {

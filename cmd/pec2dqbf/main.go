@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/circuit"
 	"repro/internal/pec"
+	"repro/internal/problem"
 )
 
 type boxFlags []string
@@ -98,7 +99,9 @@ func loadBench(path string) (*circuit.Circuit, error) {
 		return nil, err
 	}
 	defer f.Close()
-	return circuit.ParseBench(f)
+	// Route through the unified ingestion layer so BENCH parsing shares the
+	// problem.parse fault point with every other reader.
+	return problem.ReadBenchCircuit(f)
 }
 
 func parseBox(impl *circuit.Circuit, s string) (pec.BlackBox, error) {

@@ -64,7 +64,7 @@ func solve(title string, spec, impl *circuit.Circuit, cut []string) {
 		len(formula.Univ), len(formula.Exist), len(formula.Matrix.Clauses),
 		dqbf.HasQBFPrefix(formula))
 
-	res := core.New(core.DefaultOptions()).Solve(formula)
+	res := core.New(core.DefaultOptions()).SolveDQBF(formula)
 	verdict := "UNREALIZABLE (no black-box implementation works)"
 	if res.Sat {
 		verdict = "REALIZABLE (suitable black-box implementations exist)"

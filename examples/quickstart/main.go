@@ -50,7 +50,7 @@ func main() {
 	fmt.Println("minimum universal elimination set (partial MaxSAT):", elim)
 
 	// Solve with HQS.
-	res := core.New(core.DefaultOptions()).Solve(f)
+	res := core.New(core.DefaultOptions()).SolveDQBF(f)
 	fmt.Printf("HQS: %v (sat=%v, decided by %s, %v)\n",
 		res.Status, res.Sat, res.Stats.DecidedBy, res.Stats.TotalTime)
 

@@ -71,7 +71,7 @@ func RunAblation(instances []Instance, variants []AblationVariant, timeout time.
 			rec := trace.NewRecorder(0)
 			opt.Trace = rec
 			start := time.Now()
-			res := core.New(opt).Solve(inst.Formula)
+			res := core.New(opt).SolveDQBF(inst.Formula)
 			sec := time.Since(start).Seconds()
 			switch res.Status {
 			case core.Solved:

@@ -15,12 +15,14 @@
 package bench
 
 import (
+	"bytes"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/circuit"
 	"repro/internal/dqbf"
 	"repro/internal/pec"
+	"repro/internal/problem"
 )
 
 // Family identifies one benchmark family of Table I.
@@ -39,10 +41,14 @@ const (
 
 // Extension families beyond the paper's seven: the "notoriously hard to
 // verify" multiplier structure the introduction motivates removing into
-// black boxes, and a multiplexer tree.
+// black boxes, a multiplexer tree, and a circuit-ingestion family whose
+// instances are round-tripped through a BENCH netlist miter and the unified
+// problem reader — exercising the full ingestion path end to end rather
+// than constructing formulas in memory.
 const (
-	FamilyMult Family = "mult"
-	FamilyMux  Family = "mux"
+	FamilyMult    Family = "mult"
+	FamilyMux     Family = "mux"
+	FamilyCircuit Family = "circuit"
 )
 
 // Families lists the paper's families in Table I order.
@@ -53,7 +59,7 @@ var Families = []Family{
 
 // ExtensionFamilies lists additional families not in the paper's benchmark
 // set (reported separately from the Table I reproduction).
-var ExtensionFamilies = []Family{FamilyMult, FamilyMux}
+var ExtensionFamilies = []Family{FamilyMult, FamilyMux, FamilyCircuit}
 
 // Instance is one generated PEC benchmark instance.
 type Instance struct {
@@ -200,6 +206,9 @@ func generateOne(f Family, i int, rng *rand.Rand, opt GenOptions) (Instance, err
 		width = 2 // z4ml is a fixed-size circuit
 	}
 	faulty := i%4 != 0 // ~75% unrealizable candidates
+	if f == FamilyCircuit {
+		return generateCircuit(i, width, faulty, rng)
+	}
 	spec, impl, cuttable, faultName := specImpl(f, width, faulty, rng)
 
 	nBoxes := 1 + rng.Intn(2)
@@ -243,5 +252,70 @@ func generateOne(f Family, i int, rng *rand.Rand, opt GenOptions) (Instance, err
 		Formula:    formula,
 		Boxes:      len(boxes),
 		Universals: len(formula.Univ),
+	}, nil
+}
+
+// generateCircuit builds one instance of the circuit-ingestion family: an
+// adder PEC problem expressed as a BENCH netlist miter (ripple-carry spec
+// vs. carry-lookahead implementation with cut black boxes) and ingested
+// through the unified problem reader — the same path a BENCH file POSTed to
+// hqsd takes — instead of assembling the DQBF in memory.
+func generateCircuit(i, width int, faulty bool, rng *rand.Rand) (Instance, error) {
+	spec := circuit.RippleCarryAdder(width)
+	impl := circuit.CarryLookaheadAdder(width)
+	var faultName string
+	if faulty {
+		var faultID int
+		impl, faultID = impl.RandomFault(rng)
+		faultName = impl.Name(faultID)
+	}
+	var cuttable []string
+	for j := 0; j < width; j++ {
+		cuttable = append(cuttable, fmt.Sprintf("p%d", j), fmt.Sprintf("g%d", j))
+	}
+	nBoxes := 1 + rng.Intn(2)
+	var groups [][]int
+	for _, pi := range rng.Perm(len(cuttable)) {
+		if len(groups) == nBoxes {
+			break
+		}
+		if cuttable[pi] == faultName {
+			continue
+		}
+		id := impl.Signal(cuttable[pi])
+		if id < 0 {
+			continue
+		}
+		switch impl.Gates[id].Type {
+		case circuit.InputGate, circuit.FreeGate:
+			continue
+		}
+		groups = append(groups, []int{id})
+	}
+	if len(groups) == 0 {
+		return Instance{}, fmt.Errorf("no cuttable gate found")
+	}
+	cut, boxes, err := pec.CutBoxes(impl, groups)
+	if err != nil {
+		return Instance{}, err
+	}
+	miter, err := circuit.Miter(spec, cut)
+	if err != nil {
+		return Instance{}, err
+	}
+	var buf bytes.Buffer
+	if err := miter.WriteBench(&buf); err != nil {
+		return Instance{}, err
+	}
+	p, err := problem.ParseBytes(buf.Bytes(), problem.FormatBENCH)
+	if err != nil {
+		return Instance{}, err
+	}
+	return Instance{
+		Family:     FamilyCircuit,
+		Name:       fmt.Sprintf("%s_w%d_b%d_%03d", FamilyCircuit, width, len(boxes), i),
+		Formula:    p.Formula,
+		Boxes:      len(boxes),
+		Universals: len(p.Formula.Univ),
 	}, nil
 }

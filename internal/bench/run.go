@@ -98,7 +98,7 @@ func RunHQS(inst Instance, opt RunOptions) RunResult {
 	o.Timeout = opt.Timeout
 	o.NodeLimit = opt.HQSNodeLimit
 	start := time.Now()
-	res := core.New(o).Solve(inst.Formula)
+	res := core.New(o).SolveDQBF(inst.Formula)
 	sw := res.Stats.Sweep
 	sw.Add(res.Stats.QBF.Sweep)
 	rr := RunResult{

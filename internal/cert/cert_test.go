@@ -43,7 +43,7 @@ func TestExtractCheckRandom(t *testing.T) {
 		orig := f.Clone()
 		for name, opt := range sets {
 			opt.Certify = true
-			res := core.New(opt).Solve(f)
+			res := core.New(opt).SolveDQBF(f)
 			if res.Status != core.Solved {
 				t.Fatalf("instance %d (%s): status %v", i, name, res.Status)
 			}
@@ -81,7 +81,7 @@ func TestCheckRejectsCorrupted(t *testing.T) {
 	}
 	opt := core.DefaultOptions()
 	opt.Certify = true
-	res := core.New(opt).Solve(f.Clone())
+	res := core.New(opt).SolveDQBF(f.Clone())
 	if res.Status != core.Solved || !res.Sat || res.CertErr != nil {
 		t.Fatalf("solve: status %v sat %v certErr %v", res.Status, res.Sat, res.CertErr)
 	}
@@ -245,7 +245,7 @@ func TestFormatShape(t *testing.T) {
 	}
 	opt := core.DefaultOptions()
 	opt.Certify = true
-	res := core.New(opt).Solve(f.Clone())
+	res := core.New(opt).SolveDQBF(f.Clone())
 	if !res.Sat || res.CertErr != nil {
 		t.Fatalf("solve: sat %v certErr %v", res.Sat, res.CertErr)
 	}

@@ -90,6 +90,14 @@ func ParseBench(r io.Reader) (*Circuit, error) {
 				}
 				ins = append(ins, tok)
 			}
+			if name == "" {
+				return nil, fmt.Errorf("bench line %d: empty signal name in %q", lineNo, line)
+			}
+			// Reject arity violations here with a line number instead of
+			// letting AddGate panic on them during circuit construction.
+			if lo, hi := typ.arity(); len(ins) < lo || (hi >= 0 && len(ins) > hi) {
+				return nil, fmt.Errorf("bench line %d: %s gate %q with %d inputs", lineNo, tname, name, len(ins))
+			}
 			raws = append(raws, rawGate{name: name, typ: typ, ins: ins})
 		}
 	}

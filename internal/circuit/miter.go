@@ -1,0 +1,99 @@
+package circuit
+
+import "fmt"
+
+// Miter builds the equivalence miter of a specification and an
+// implementation: one circuit whose single output "miter" is true exactly
+// when every output pair agrees on the given inputs. The two circuits must
+// have the same number of primary inputs (paired in declaration order —
+// input names may differ) and the same number of outputs; the shared inputs
+// of the miter take the implementation's names. The specification must be
+// complete (no free signals); free signals of the implementation — its
+// black boxes — are copied as free signals of the miter, so the resulting
+// BENCH netlist encodes a partial-equivalence-checking problem when fed to
+// the problem layer: the miter output is a tautology iff some black-box
+// implementation makes the circuits equivalent on every input.
+//
+// Internal signal names are prefixed ("s_" for specification copies, "i_"
+// for implementation copies) so the two halves never collide; a name clash
+// after prefixing is an error.
+func Miter(spec, impl *Circuit) (*Circuit, error) {
+	if len(spec.Inputs) != len(impl.Inputs) {
+		return nil, fmt.Errorf("circuit: miter input count mismatch: spec %d, impl %d",
+			len(spec.Inputs), len(impl.Inputs))
+	}
+	if len(spec.Outputs) != len(impl.Outputs) {
+		return nil, fmt.Errorf("circuit: miter output count mismatch: spec %d, impl %d",
+			len(spec.Outputs), len(impl.Outputs))
+	}
+	if frees := spec.FreeSignals(); len(frees) > 0 {
+		return nil, fmt.Errorf("circuit: specification has %d free signals (must be complete): %s",
+			len(frees), spec.Name(frees[0]))
+	}
+
+	m := New()
+	// Shared inputs, paired by declaration order, named after the
+	// implementation's inputs.
+	specMap := make([]int, len(spec.Gates))
+	implMap := make([]int, len(impl.Gates))
+	for i := range specMap {
+		specMap[i] = -1
+	}
+	for i := range implMap {
+		implMap[i] = -1
+	}
+	for i, id := range impl.Inputs {
+		shared := m.AddInput(impl.Name(id))
+		implMap[id] = shared
+		specMap[spec.Inputs[i]] = shared
+	}
+
+	copyHalf := func(src *Circuit, srcMap []int, prefix string) error {
+		for id, g := range src.Gates {
+			if srcMap[id] >= 0 {
+				continue // shared input, already placed
+			}
+			switch g.Type {
+			case InputGate:
+				return fmt.Errorf("circuit: input %s not paired", g.Name)
+			case FreeGate:
+				srcMap[id] = m.AddFree(prefix + g.Name)
+			default:
+				ins := make([]int, len(g.Ins))
+				for k, in := range g.Ins {
+					if srcMap[in] < 0 {
+						return fmt.Errorf("circuit: %s%s uses signal %s before its definition",
+							prefix, g.Name, src.Name(in))
+					}
+					ins[k] = srcMap[in]
+				}
+				srcMap[id] = m.AddGate(prefix+g.Name, g.Type, ins...)
+			}
+		}
+		return nil
+	}
+	if err := copyHalf(spec, specMap, "s_"); err != nil {
+		return nil, err
+	}
+	if err := copyHalf(impl, implMap, "i_"); err != nil {
+		return nil, err
+	}
+
+	// One XNOR per output pair, AND-reduced into the miter output.
+	eqs := make([]int, len(spec.Outputs))
+	for i := range spec.Outputs {
+		eqs[i] = m.AddGate(fmt.Sprintf("eq%d", i), XnorGate,
+			specMap[spec.Outputs[i]], implMap[impl.Outputs[i]])
+	}
+	var out int
+	switch len(eqs) {
+	case 0:
+		out = m.AddGate("miter", Const1)
+	case 1:
+		out = m.AddGate("miter", BufGate, eqs[0])
+	default:
+		out = m.AddGate("miter", AndGate, eqs...)
+	}
+	m.MarkOutput(out)
+	return m, nil
+}

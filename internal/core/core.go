@@ -42,6 +42,7 @@ import (
 	"repro/internal/dqbf"
 	"repro/internal/oracle"
 	"repro/internal/pipeline"
+	"repro/internal/problem"
 	"repro/internal/qbf"
 	"repro/internal/trace"
 )
@@ -197,9 +198,17 @@ var errTimeout = errors.New("core: timeout")
 // the budget's reason.
 type budgetStop struct{ err error }
 
-// Solve decides the DQBF by assembling and running the standard HQS pass
-// pipeline. The input formula is not modified.
-func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
+// SolveDQBF decides a bare DQBF formula. It is the historical entry point,
+// kept as a thin wrapper that lifts the formula into a Problem; new callers
+// with format/kind provenance should use Solve directly.
+func (s *Solver) SolveDQBF(f *dqbf.Formula) Result {
+	return s.Solve(problem.FromDQBF(f))
+}
+
+// Solve decides the ingested problem by assembling and running the standard
+// HQS pass pipeline. The problem must be a formula kind (DQBF or QBF); its
+// formula is not modified.
+func (s *Solver) Solve(p *problem.Problem) (res Result) {
 	start := time.Now()
 	defer func() { res.Stats.TotalTime = time.Since(start) }()
 
@@ -235,12 +244,16 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 		}
 	}()
 
-	work := f.Clone()
+	if p.Formula == nil {
+		panic("core: Solve requires a formula-kind problem (DQBF or QBF)")
+	}
+	work := p.Formula.Clone()
 	st := &pipeline.State{
 		Prefix:   pipeline.FormulaPrefix{F: work},
 		Budget:   s.Opt.Budget,
 		Deadline: deadline,
 		Workers:  s.Opt.Workers,
+		Problem:  p,
 	}
 	if s.Opt.Certify {
 		st.Cert = cert.NewBuilder()
@@ -303,7 +316,7 @@ func (s *Solver) Solve(f *dqbf.Formula) (res Result) {
 		// and after every trace event, so certified runs keep bit-identical
 		// pass schedules.
 		if st.Cert != nil && st.Sat {
-			res.Certificate, res.CertErr = st.Cert.Extract(f, st.G)
+			res.Certificate, res.CertErr = st.Cert.Extract(p.Formula, st.G)
 		}
 		return res
 	}

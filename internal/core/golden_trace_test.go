@@ -36,7 +36,7 @@ func goldenTrace(t *testing.T, f *dqbf.Formula, certify bool) (string, core.Resu
 	opt.Trace = rec
 	opt.Workers = 1 // serial sweeps, so the pass schedule is deterministic
 	opt.Certify = certify
-	res := core.New(opt).Solve(f)
+	res := core.New(opt).SolveDQBF(f)
 	if res.Status != core.Solved {
 		t.Fatalf("status %v, want solved", res.Status)
 	}

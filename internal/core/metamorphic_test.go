@@ -21,7 +21,7 @@ import (
 // non-verdict.
 func solveVerdict(t *testing.T, f *dqbf.Formula) bool {
 	t.Helper()
-	res := core.New(core.DefaultOptions()).Solve(f)
+	res := core.New(core.DefaultOptions()).SolveDQBF(f)
 	if res.Status != core.Solved {
 		t.Fatalf("status %v, want solved", res.Status)
 	}

@@ -41,7 +41,7 @@ func diffSolve(t *testing.T, name string, f *dqbf.Formula) {
 	}
 	got := make(map[string]verdict)
 	for cfg, opt := range oracleConfigs() {
-		res := core.New(opt).Solve(f)
+		res := core.New(opt).SolveDQBF(f)
 		if res.Status != core.Solved {
 			t.Fatalf("%s [%s]: status %v, want solved", name, cfg, res.Status)
 		}
@@ -85,7 +85,7 @@ func TestOracleDifferentialFamilies(t *testing.T) {
 		sawOracleQueries := false
 		for _, inst := range insts {
 			opt := core.DefaultOptions()
-			res := core.New(opt).Solve(inst.Formula)
+			res := core.New(opt).SolveDQBF(inst.Formula)
 			if res.Status == core.Solved && res.Stats.Oracle.Queries > 0 {
 				sawOracleQueries = true
 			}

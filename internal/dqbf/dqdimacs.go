@@ -169,6 +169,73 @@ func ParseDQDIMACSString(s string) (*Formula, error) {
 // WriteDQDIMACS writes the formula in DQDIMACS format. Existentials whose
 // dependency set equals the full universal set are emitted with an "e" line
 // after all universals; all others get explicit "d" lines.
+// WriteQDIMACS writes the formula in plain QDIMACS, the linear-prefix
+// subset of DQDIMACS: alternating "a"/"e" blocks, no "d" lines. It fails
+// when the formula is not linear — i.e. when some existential's dependency
+// set is not exactly a prefix of the universal order — since QDIMACS cannot
+// express such a formula without changing its meaning.
+//
+// The writer preserves quantifier-block order exactly: existentials are
+// grouped by dependency-prefix length with a stable sort, so a
+// write→parse→write round trip is a byte-level fixpoint (the parser maps
+// each "e" block back to the universals declared before it).
+func (f *Formula) WriteQDIMACS(w io.Writer) error {
+	pos := make(map[cnf.Var]int, len(f.Univ))
+	for i, x := range f.Univ {
+		pos[x] = i
+	}
+	type block struct {
+		y cnf.Var
+		k int
+	}
+	exs := make([]block, 0, len(f.Exist))
+	for _, y := range f.Exist {
+		d := f.Deps[y]
+		k := d.Len()
+		for _, x := range d.Vars() {
+			i, ok := pos[x]
+			if !ok || i >= k {
+				return fmt.Errorf("qdimacs: existential %d depends on %s, not a prefix of the universal order (formula is not linear)", y, d)
+			}
+		}
+		exs = append(exs, block{y, k})
+	}
+	sort.SliceStable(exs, func(i, j int) bool { return exs[i].k < exs[j].k })
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "p cnf %d %d\n", f.Matrix.NumVars, len(f.Matrix.Clauses))
+	emitted := 0
+	for i := 0; i < len(exs); {
+		k := exs[i].k
+		if k > emitted {
+			fmt.Fprint(bw, "a")
+			for _, x := range f.Univ[emitted:k] {
+				fmt.Fprintf(bw, " %d", x)
+			}
+			fmt.Fprintln(bw, " 0")
+			emitted = k
+		}
+		fmt.Fprint(bw, "e")
+		for ; i < len(exs) && exs[i].k == k; i++ {
+			fmt.Fprintf(bw, " %d", exs[i].y)
+		}
+		fmt.Fprintln(bw, " 0")
+	}
+	if emitted < len(f.Univ) {
+		fmt.Fprint(bw, "a")
+		for _, x := range f.Univ[emitted:] {
+			fmt.Fprintf(bw, " %d", x)
+		}
+		fmt.Fprintln(bw, " 0")
+	}
+	for _, c := range f.Matrix.Clauses {
+		for _, l := range c {
+			fmt.Fprintf(bw, "%d ", l.Dimacs())
+		}
+		fmt.Fprintln(bw, "0")
+	}
+	return bw.Flush()
+}
+
 func (f *Formula) WriteDQDIMACS(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, "p cnf %d %d\n", f.Matrix.NumVars, len(f.Matrix.Clauses))

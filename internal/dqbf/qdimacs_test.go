@@ -1,0 +1,144 @@
+package dqbf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cnf"
+)
+
+// linearFormula builds ∃y3 ∀x1 ∃y4 ∀x2 ∃y5 with a small matrix: three
+// existential blocks at prefix lengths 0, 1, and 2.
+func linearFormula() *Formula {
+	f := New()
+	f.Matrix.NumVars = 5
+	f.AddUniversal(1)
+	f.AddUniversal(2)
+	f.AddExistential(3)
+	f.AddExistential(4, 1)
+	f.AddExistential(5, 1, 2)
+	f.Matrix.AddClause(cnf.PosLit(3), cnf.NegLit(1))
+	f.Matrix.AddClause(cnf.PosLit(4), cnf.PosLit(2), cnf.NegLit(5))
+	return f
+}
+
+// TestWriteQDIMACSBlockOrder pins the exact serialization: quantifier
+// blocks appear in prefix order, universals interleaved between the
+// existential blocks that depend on them.
+func TestWriteQDIMACSBlockOrder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := linearFormula().WriteQDIMACS(&buf); err != nil {
+		t.Fatalf("WriteQDIMACS: %v", err)
+	}
+	want := `p cnf 5 2
+e 3 0
+a 1 0
+e 4 0
+a 2 0
+e 5 0
+3 -1 0
+4 2 -5 0
+`
+	if buf.String() != want {
+		t.Fatalf("serialization drifted:\ngot:\n%s\nwant:\n%s", buf.String(), want)
+	}
+}
+
+// TestQDIMACSWriteParseFixpoint is the round-trip guarantee: writing,
+// parsing, and writing again is byte-identical, so the quantifier-block
+// order survives exactly.
+func TestQDIMACSWriteParseFixpoint(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *Formula
+	}{
+		{"interleaved blocks", linearFormula()},
+		{"trailing universals", func() *Formula {
+			f := New()
+			f.Matrix.NumVars = 3
+			f.AddUniversal(2)
+			f.AddUniversal(3)
+			f.AddExistential(1, 2)
+			f.Matrix.AddClause(cnf.PosLit(1), cnf.PosLit(3))
+			return f
+		}()},
+		{"no existentials", func() *Formula {
+			f := New()
+			f.Matrix.NumVars = 2
+			f.AddUniversal(1)
+			f.AddUniversal(2)
+			f.Matrix.AddClause(cnf.PosLit(1), cnf.PosLit(2))
+			return f
+		}()},
+		{"propositional", func() *Formula {
+			f := New()
+			f.Matrix.NumVars = 2
+			f.AddExistential(1)
+			f.AddExistential(2)
+			f.Matrix.AddClause(cnf.NegLit(1), cnf.PosLit(2))
+			return f
+		}()},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var first bytes.Buffer
+			if err := tc.f.WriteQDIMACS(&first); err != nil {
+				t.Fatalf("write: %v", err)
+			}
+			parsed, err := ParseDQDIMACS(bytes.NewReader(first.Bytes()))
+			if err != nil {
+				t.Fatalf("parse own output: %v\n%s", err, first.Bytes())
+			}
+			var second bytes.Buffer
+			if err := parsed.WriteQDIMACS(&second); err != nil {
+				t.Fatalf("rewrite: %v", err)
+			}
+			if !bytes.Equal(first.Bytes(), second.Bytes()) {
+				t.Fatalf("write→parse→write not a fixpoint:\nfirst:\n%s\nsecond:\n%s",
+					first.Bytes(), second.Bytes())
+			}
+		})
+	}
+}
+
+// TestQDIMACSSourceFixpoint starts from QDIMACS text instead of a built
+// formula: after one normalizing write, the form is stable.
+func TestQDIMACSSourceFixpoint(t *testing.T) {
+	src := `p cnf 4 2
+e 4 0
+a 1 0
+e 2 3 0
+1 2 0
+-1 3 -4 0
+`
+	f, err := ParseDQDIMACS(strings.NewReader(src))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var first bytes.Buffer
+	if err := f.WriteQDIMACS(&first); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if first.String() != src {
+		t.Fatalf("parse→write changed an already-normal input:\ngot:\n%s\nwant:\n%s", first.String(), src)
+	}
+}
+
+func TestWriteQDIMACSRejectsNonLinear(t *testing.T) {
+	f := New()
+	f.Matrix.NumVars = 4
+	f.AddUniversal(1)
+	f.AddUniversal(2)
+	// Depends on x2 but not x1: not a prefix of the universal order.
+	f.AddExistential(3, 2)
+	f.Matrix.AddClause(cnf.PosLit(3), cnf.PosLit(4))
+	var buf bytes.Buffer
+	err := f.WriteQDIMACS(&buf)
+	if err == nil {
+		t.Fatal("non-linear formula serialized as QDIMACS")
+	}
+	if !strings.Contains(err.Error(), "not linear") {
+		t.Fatalf("error %q does not explain the linearity failure", err)
+	}
+}

@@ -97,7 +97,7 @@ func TestThreeWayAgreement(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		h := hqs.Solve(f)
+		h := hqs.SolveDQBF(f)
 		q := idq.New(idq.Options{}).Solve(f)
 		if h.Status != core.Solved || q.Status != idq.Solved {
 			t.Fatalf("iter %d: solver did not finish (%v/%v)", iter, h.Status, q.Status)

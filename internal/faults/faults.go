@@ -62,12 +62,19 @@ const (
 	// decoded; a firing rule makes the store flip a bit in the payload, so
 	// the real checksum/quarantine machinery runs against real corruption.
 	StoreCorrupt Point = "store.corrupt"
+	// ProblemParse fires at the entry of every unified problem-ingestion call
+	// (problem.ParseBytes and friends); an injected error simulates a parser
+	// failure that must degrade to a clean 400 in hqsd, never a panic.
+	ProblemParse Point = "problem.parse"
+	// PQESolve fires at the entry of a partial-quantifier-elimination query
+	// (pqe.Solve) before any SAT call runs.
+	PQESolve Point = "pqe.solve"
 )
 
 // builtinPoints are the statically defined injection points.
 var builtinPoints = []Point{SATSolve, AIGSweep, AIGFinalSAT, MaxSATSolve,
 	QBFEliminate, SchedDispatch, CacheLookup, CertVerify,
-	StoreRead, StoreWrite, StoreCorrupt}
+	StoreRead, StoreWrite, StoreCorrupt, ProblemParse, PQESolve}
 
 // registry holds dynamically registered points (pipeline passes register
 // one "pipeline.<pass>" point each at init time).

@@ -120,7 +120,7 @@ func TestAgreesWithHQSOnLargerInstances(t *testing.T) {
 	hqs := core.New(core.DefaultOptions())
 	for iter := 0; iter < 30; iter++ {
 		f := randomDQBF(rng, 2+rng.Intn(4), 2+rng.Intn(4), 5+rng.Intn(20))
-		ref := hqs.Solve(f)
+		ref := hqs.SolveDQBF(f)
 		if ref.Status != core.Solved {
 			t.Fatalf("iter %d: HQS status %v", iter, ref.Status)
 		}

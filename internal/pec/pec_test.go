@@ -104,7 +104,7 @@ func decide(t *testing.T, p *Problem) bool {
 	if err := f.Validate(); err != nil {
 		t.Fatal(err)
 	}
-	res := core.New(core.DefaultOptions()).Solve(f)
+	res := core.New(core.DefaultOptions()).SolveDQBF(f)
 	if res.Status != core.Solved {
 		t.Fatalf("HQS status %v", res.Status)
 	}

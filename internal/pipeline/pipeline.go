@@ -28,6 +28,7 @@ import (
 	"repro/internal/cert"
 	"repro/internal/cnf"
 	"repro/internal/dqbf"
+	"repro/internal/problem"
 	"repro/internal/faults"
 	"repro/internal/oracle"
 )
@@ -88,6 +89,10 @@ type State struct {
 	// encodings and learned clauses survive across passes; nil keeps every
 	// consumer on its historical fresh-solver-per-query path.
 	Oracle *oracle.Pool
+	// Problem, when non-nil, is the ingested problem the run came from —
+	// passes can consult its Kind (DQBF vs plain QBF) and provenance
+	// without re-deriving them from the prefix.
+	Problem *problem.Problem
 
 	// Decided, Sat and DecidedBy carry the verdict once a pass settles the
 	// formula.

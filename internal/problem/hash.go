@@ -1,0 +1,123 @@
+package problem
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"sort"
+
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+)
+
+// CanonicalFormulaHash returns a hex-encoded SHA-256 digest of a canonical
+// serialization of f, suitable as a result-cache key: two parses of the same
+// instance hash identically even when prefix lines, clause order, or the
+// literal order inside clauses differ — and, because every input format
+// normalizes into the same Formula, identically across input formats too.
+// The digest covers the universal set, each existential with its dependency
+// set, and the matrix with duplicate literals removed and clauses sorted; it
+// deliberately ignores cosmetic attributes such as the declared variable
+// count. (This is the hash the service result cache and the persistent store
+// have always keyed on; the bytes hashed are unchanged, so store entries
+// written by earlier releases stay addressable.)
+func CanonicalFormulaHash(f *dqbf.Formula) string {
+	h := sha256.New()
+	writeInt := func(v int64) { hashInt(h, v) }
+	writeVars := func(vs []cnf.Var) { hashVars(h, vs) }
+
+	h.Write([]byte("univ"))
+	writeVars(f.Univ)
+
+	h.Write([]byte("exist"))
+	exist := append([]cnf.Var(nil), f.Exist...)
+	sort.Slice(exist, func(i, j int) bool { return exist[i] < exist[j] })
+	writeInt(int64(len(exist)))
+	for _, y := range exist {
+		writeInt(int64(y))
+		writeVars(f.Deps[y].Vars())
+	}
+
+	h.Write([]byte("matrix"))
+	hashClauses(h, f.Matrix.Clauses)
+
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// CanonicalHash returns the canonical cache key of the problem. Formula
+// problems hash exactly as CanonicalFormulaHash — the kind and input format
+// do not participate, which is the point: the same instance ingested as
+// DQDIMACS, QDIMACS, AIGER, or BENCH shares one key. PQE problems hash into
+// a domain-separated space (an F/G split is a different question than the
+// conjoined formula, so the keys must never collide).
+func (p *Problem) CanonicalHash() string {
+	if p.Kind == KindPQE {
+		return p.PQE.CanonicalHash()
+	}
+	return CanonicalFormulaHash(p.Formula)
+}
+
+// CanonicalHash returns the canonical key of a PQE query: domain-separated
+// from formula hashes, covering X (sorted) and the two clause sets
+// (normalized independently — F and G are not interchangeable).
+func (q *PQESplit) CanonicalHash() string {
+	h := sha256.New()
+	h.Write([]byte("pqe"))
+	hashVars(h, q.X)
+	h.Write([]byte("f"))
+	hashClauses(h, q.F)
+	h.Write([]byte("g"))
+	hashClauses(h, q.G)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func hashInt(h hash.Hash, v int64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	h.Write(buf[:])
+}
+
+func hashVars(h hash.Hash, vs []cnf.Var) {
+	sorted := append([]cnf.Var(nil), vs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	hashInt(h, int64(len(sorted)))
+	for _, v := range sorted {
+		hashInt(h, int64(v))
+	}
+}
+
+// hashClauses digests a clause set order-insensitively: literals sorted and
+// deduplicated within each clause, clauses sorted lexicographically.
+func hashClauses(h hash.Hash, cs []cnf.Clause) {
+	clauses := make([][]cnf.Lit, 0, len(cs))
+	for _, c := range cs {
+		lits := append([]cnf.Lit(nil), c...)
+		sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
+		dedup := lits[:0]
+		for i, l := range lits {
+			if i == 0 || l != lits[i-1] {
+				dedup = append(dedup, l)
+			}
+		}
+		clauses = append(clauses, dedup)
+	}
+	sort.Slice(clauses, func(i, j int) bool { return lessLits(clauses[i], clauses[j]) })
+	hashInt(h, int64(len(clauses)))
+	for _, c := range clauses {
+		hashInt(h, int64(len(c)))
+		for _, l := range c {
+			hashInt(h, int64(l))
+		}
+	}
+}
+
+// lessLits orders clauses lexicographically by their literal sequence.
+func lessLits(a, b []cnf.Lit) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

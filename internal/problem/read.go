@@ -1,0 +1,93 @@
+package problem
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/circuit"
+	"repro/internal/dqbf"
+	"repro/internal/faults"
+)
+
+// ParseBytes parses one problem from data. An empty hint autodetects the
+// format (Detect); a non-empty hint selects the reader directly — the
+// ingestion path HTTP Content-Type headers and file extensions feed. Every
+// parse fires the "problem.parse" fault point first, so chaos drills can
+// exercise the ingestion error path end to end.
+func ParseBytes(data []byte, hint Format) (*Problem, error) {
+	if err := faults.Fire(faults.ProblemParse); err != nil {
+		return nil, fmt.Errorf("problem: parse failed: %w", err)
+	}
+	format := hint
+	if format == "" {
+		var err error
+		format, err = Detect(data)
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch format {
+	case FormatDQDIMACS, FormatQDIMACS:
+		f, err := dqbf.ParseDQDIMACS(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		p := FromDQBF(f)
+		p.Format = format
+		return p, nil
+	case FormatAIGER:
+		af, err := parseAIGER(data)
+		if err != nil {
+			return nil, err
+		}
+		return af.toProblem()
+	case FormatBENCH:
+		c, err := circuit.ParseBench(bytes.NewReader(data))
+		if err != nil {
+			return nil, err
+		}
+		return FromCircuit(c)
+	case FormatPQE:
+		return parsePQE(data)
+	default:
+		return nil, fmt.Errorf("problem: unknown format %q", format)
+	}
+}
+
+// Parse reads all of r and parses it with format autodetection.
+func Parse(r io.Reader) (*Problem, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	return ParseBytes(data, "")
+}
+
+// ParseFile reads and parses path, using the file extension as the format
+// hint (falling back to content sniffing for unknown extensions) and
+// recording the path as the problem's source.
+func ParseFile(path string) (*Problem, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	p, err := ParseBytes(data, FormatFromPath(path))
+	if err != nil {
+		return nil, err
+	}
+	p.Source = path
+	return p, nil
+}
+
+// ReadBenchCircuit parses a BENCH netlist into its circuit form — the entry
+// point for consumers that need the netlist itself rather than its DQBF
+// encoding (pec2dqbf builds PEC problems from two of them). It shares the
+// problem.parse fault point with the formula readers.
+func ReadBenchCircuit(r io.Reader) (*circuit.Circuit, error) {
+	if err := faults.Fire(faults.ProblemParse); err != nil {
+		return nil, fmt.Errorf("problem: parse failed: %w", err)
+	}
+	return circuit.ParseBench(r)
+}

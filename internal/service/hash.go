@@ -1,81 +1,17 @@
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/binary"
-	"encoding/hex"
-	"sort"
-
-	"repro/internal/cnf"
 	"repro/internal/dqbf"
+	"repro/internal/problem"
 )
 
 // CanonicalHash returns a hex-encoded SHA-256 digest of a canonical
-// serialization of f, suitable as a result-cache key: two parses of the same
-// instance hash identically even when prefix lines, clause order, or the
-// literal order inside clauses differ. The digest covers the universal set,
-// each existential with its dependency set, and the matrix with duplicate
-// literals removed and clauses sorted; it deliberately ignores cosmetic
-// attributes such as the declared variable count.
+// serialization of f, suitable as a result-cache key. The computation moved
+// to the ingestion layer (problem.CanonicalFormulaHash) so the key is
+// stable across every input format — a BENCH-ingested instance and its
+// DQDIMACS serialization hash identically — and this wrapper remains for
+// the scheduler and existing callers. The digest bytes are unchanged, so
+// persistent store entries written by earlier versions stay addressable.
 func CanonicalHash(f *dqbf.Formula) string {
-	h := sha256.New()
-	writeInt := func(v int64) {
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], uint64(v))
-		h.Write(buf[:])
-	}
-	writeVars := func(vs []cnf.Var) {
-		sorted := append([]cnf.Var(nil), vs...)
-		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-		writeInt(int64(len(sorted)))
-		for _, v := range sorted {
-			writeInt(int64(v))
-		}
-	}
-
-	h.Write([]byte("univ"))
-	writeVars(f.Univ)
-
-	h.Write([]byte("exist"))
-	exist := append([]cnf.Var(nil), f.Exist...)
-	sort.Slice(exist, func(i, j int) bool { return exist[i] < exist[j] })
-	writeInt(int64(len(exist)))
-	for _, y := range exist {
-		writeInt(int64(y))
-		writeVars(f.Deps[y].Vars())
-	}
-
-	h.Write([]byte("matrix"))
-	clauses := make([][]cnf.Lit, 0, len(f.Matrix.Clauses))
-	for _, c := range f.Matrix.Clauses {
-		lits := append([]cnf.Lit(nil), c...)
-		sort.Slice(lits, func(i, j int) bool { return lits[i] < lits[j] })
-		dedup := lits[:0]
-		for i, l := range lits {
-			if i == 0 || l != lits[i-1] {
-				dedup = append(dedup, l)
-			}
-		}
-		clauses = append(clauses, dedup)
-	}
-	sort.Slice(clauses, func(i, j int) bool { return lessLits(clauses[i], clauses[j]) })
-	writeInt(int64(len(clauses)))
-	for _, c := range clauses {
-		writeInt(int64(len(c)))
-		for _, l := range c {
-			writeInt(int64(l))
-		}
-	}
-
-	return hex.EncodeToString(h.Sum(nil))
-}
-
-// lessLits orders clauses lexicographically by their literal sequence.
-func lessLits(a, b []cnf.Lit) bool {
-	for i := 0; i < len(a) && i < len(b); i++ {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return len(a) < len(b)
+	return problem.CanonicalFormulaHash(f)
 }

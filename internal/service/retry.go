@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/dqbf"
+	"repro/internal/problem"
 	"repro/internal/trace"
 )
 
@@ -114,7 +115,7 @@ func classify(out Outcome, b *budget.Budget) attemptDisposition {
 // returned outcome carries the total attempt count and fallback depth. This
 // is the entry point the scheduler uses; Run is the single-attempt variant.
 func Solve(f *dqbf.Formula, eng Engine, b *budget.Budget, pol RetryPolicy) Outcome {
-	return solveRetry(f, eng, b, pol, nil, nil)
+	return solveRetry(problem.FromDQBF(f), eng, b, pol, nil, nil)
 }
 
 // solveRetry is Solve with an observer invoked after every attempt (used by
@@ -122,7 +123,7 @@ func Solve(f *dqbf.Formula, eng Engine, b *budget.Budget, pol RetryPolicy) Outco
 // losing intermediate outcomes) and a per-pass trace sink threaded into
 // every HQS attempt, retries and fallback runs included (so a job's trace
 // shows the full attempt history, not just the final run).
-func solveRetry(f *dqbf.Formula, eng Engine, b *budget.Budget, pol RetryPolicy, observe func(Outcome), sink trace.Sink) Outcome {
+func solveRetry(p *problem.Problem, eng Engine, b *budget.Budget, pol RetryPolicy, observe func(Outcome), sink trace.Sink) Outcome {
 	pol = pol.withDefaults()
 	if _, err := ParseEngine(string(eng)); err != nil {
 		return Outcome{Verdict: VerdictError, Reason: "error", Error: err.Error(), Attempts: 0}
@@ -140,7 +141,7 @@ func solveRetry(f *dqbf.Formula, eng Engine, b *budget.Budget, pol RetryPolicy, 
 				return last
 			}
 			attempts++
-			out := runGuarded(f, e, b, sink)
+			out := runGuarded(p, e, b, sink)
 			out.Attempts = attempts
 			out.Fallbacks = ci
 			out.Conflicts = b.ConflictsUsed()

@@ -14,6 +14,7 @@ import (
 	"repro/internal/dqbf"
 	"repro/internal/faults"
 	"repro/internal/oracle"
+	"repro/internal/problem"
 	"repro/internal/store"
 	"repro/internal/trace"
 )
@@ -115,6 +116,10 @@ type JobInfo struct {
 	ID     string   `json:"id"`
 	State  JobState `json:"state"`
 	Engine Engine   `json:"engine"`
+	// Format and Kind record the ingested problem's input format ("dqdimacs",
+	// "qdimacs", "aiger", "bench") and quantifier kind ("dqbf", "qbf").
+	Format string `json:"format,omitempty"`
+	Kind   string `json:"kind,omitempty"`
 	// QueueWaitMS is the time between submission and a worker picking the
 	// job up (grows while queued).
 	QueueWaitMS int64 `json:"queue_wait_ms"`
@@ -127,7 +132,7 @@ type JobInfo struct {
 // Job is one scheduled solve.
 type Job struct {
 	id  string
-	f   *dqbf.Formula
+	p   *problem.Problem
 	key string
 	eng Engine
 	bud *budget.Budget
@@ -179,6 +184,10 @@ func (j *Job) Info() JobInfo {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	info := JobInfo{ID: j.id, State: j.state, Engine: j.eng}
+	if j.p != nil {
+		info.Format = string(j.p.Format)
+		info.Kind = j.p.Kind.String()
+	}
 	switch j.state {
 	case StateQueued:
 		info.QueueWaitMS = time.Since(j.submitted).Milliseconds()
@@ -321,23 +330,41 @@ func NewScheduler(cfg Config) *Scheduler {
 	return s
 }
 
-// Submit validates and enqueues a job. The formula is cloned, so the caller
-// may reuse f. A cache hit completes the job immediately without queueing.
-// Returns ErrQueueFull when the queue has no slot and ErrDraining once Drain
-// has begun — the draining check and the queue send happen under one lock
-// with Drain's queue close, so a job is either rejected with ErrDraining or
-// enqueued before the close and guaranteed to reach a terminal state.
+// Submit validates and enqueues a bare-formula job; it lifts the formula
+// into a Problem and delegates to SubmitProblem. The formula is cloned, so
+// the caller may reuse f.
 func (s *Scheduler) Submit(f *dqbf.Formula, eng Engine, lim Limits) (*Job, error) {
+	return s.SubmitProblem(problem.FromDQBF(f), eng, lim)
+}
+
+// SubmitProblem validates and enqueues a job for an ingested problem of any
+// formula kind (PQE queries are not jobs — they are answered synchronously
+// by SolvePQE). The problem is cloned, so the caller may reuse p. A cache
+// hit completes the job immediately without queueing. Returns ErrQueueFull
+// when the queue has no slot and ErrDraining once Drain has begun — the
+// draining check and the queue send happen under one lock with Drain's
+// queue close, so a job is either rejected with ErrDraining or enqueued
+// before the close and guaranteed to reach a terminal state.
+//
+// The cache/store key is the problem's canonical hash, which is computed on
+// the normalized formula: the same instance ingested as DQDIMACS and as a
+// BENCH netlist shares one cache and store entry.
+func (s *Scheduler) SubmitProblem(p *problem.Problem, eng Engine, lim Limits) (*Job, error) {
 	if eng == "" {
 		eng = s.cfg.DefaultEngine
 	}
 	if _, err := ParseEngine(string(eng)); err != nil {
 		return nil, err
 	}
-	if err := f.Validate(); err != nil {
+	if p.Kind == problem.KindPQE {
+		s.rejected.Add(1)
+		return nil, fmt.Errorf("service: PQE queries are not scheduler jobs (use SolvePQE)")
+	}
+	if err := p.Validate(); err != nil {
 		s.rejected.Add(1)
 		return nil, err
 	}
+	f := p.Formula
 
 	timeout := lim.Timeout
 	if timeout <= 0 {
@@ -352,7 +379,7 @@ func (s *Scheduler) Submit(f *dqbf.Formula, eng Engine, lim Limits) (*Job, error
 	// re-verifies Skolem certificates (a SAT call) and must not run under the
 	// scheduler lock. A hit found here is finished under the lock below, so
 	// the draining check stays atomic with enqueue/finish.
-	key := CanonicalHash(f)
+	key := p.CanonicalHash()
 	out, hit := s.cacheLookup(key)
 	if hit {
 		out.FromCache = true
@@ -369,7 +396,7 @@ func (s *Scheduler) Submit(f *dqbf.Formula, eng Engine, lim Limits) (*Job, error
 	s.nextID++
 	job := &Job{
 		id:        fmt.Sprintf("j%d", s.nextID),
-		f:         f.Clone(),
+		p:         p.Clone(),
 		key:       key,
 		eng:       eng,
 		bud:       budget.New(bl),
@@ -635,7 +662,7 @@ func (s *Scheduler) runJob(job *Job) {
 	if job.trc != nil {
 		sink = job.trc
 	}
-	out := solveRetry(job.f, job.eng, job.bud, s.cfg.Retry, func(att Outcome) {
+	out := solveRetry(job.p, job.eng, job.bud, s.cfg.Retry, func(att Outcome) {
 		attempt++
 		if attempt > 1 {
 			s.retries.Add(1)

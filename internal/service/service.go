@@ -33,6 +33,8 @@ import (
 	"repro/internal/expand"
 	"repro/internal/faults"
 	"repro/internal/idq"
+	"repro/internal/pqe"
+	"repro/internal/problem"
 	"repro/internal/trace"
 )
 
@@ -228,15 +230,32 @@ func Run(f *dqbf.Formula, eng Engine, b *budget.Budget) (Outcome, error) {
 	return RunTraced(f, eng, b, nil)
 }
 
-// RunTraced is Run with a per-pass trace sink: every pipeline pass the HQS
-// engine executes (in portfolio mode, the HQS arm) emits one structured
-// trace.Event to sink. A nil sink disables tracing; the iDQ engine has no
-// pass pipeline and emits nothing.
+// RunTraced is Run with a per-pass trace sink; both lift the bare formula
+// into a Problem and delegate to the Problem entry points below.
 func RunTraced(f *dqbf.Formula, eng Engine, b *budget.Budget, sink trace.Sink) (Outcome, error) {
+	return RunTracedProblem(problem.FromDQBF(f), eng, b, sink)
+}
+
+// RunProblem decides an ingested problem (any formula kind, from any input
+// format) with the given engine under budget b. See Run for the attempt
+// semantics.
+func RunProblem(p *problem.Problem, eng Engine, b *budget.Budget) (Outcome, error) {
+	return RunTracedProblem(p, eng, b, nil)
+}
+
+// RunTracedProblem is RunProblem with a per-pass trace sink: every pipeline
+// pass the HQS engine executes (in portfolio mode, the HQS arm) emits one
+// structured trace.Event to sink. A nil sink disables tracing; the iDQ
+// engine has no pass pipeline and emits nothing. PQE problems are not
+// engine jobs — route them through SolvePQE instead.
+func RunTracedProblem(p *problem.Problem, eng Engine, b *budget.Budget, sink trace.Sink) (Outcome, error) {
 	if _, err := ParseEngine(string(eng)); err != nil {
 		return Outcome{}, err
 	}
-	out := runGuarded(f, eng, b, sink)
+	if p.Formula == nil {
+		return Outcome{}, fmt.Errorf("service: %s problem has no formula (use SolvePQE for PQE queries)", p.Kind)
+	}
+	out := runGuarded(p, eng, b, sink)
 	out.Attempts = 1
 	out.Conflicts = b.ConflictsUsed()
 	out.Decisions = b.DecisionsUsed()
@@ -246,7 +265,7 @@ func RunTraced(f *dqbf.Formula, eng Engine, b *budget.Budget, sink trace.Sink) (
 // runGuarded executes one engine attempt with panic isolation: a panic
 // anywhere in the engine (or injected by a fault plan) is converted into a
 // VerdictError outcome carrying the message and captured stack.
-func runGuarded(f *dqbf.Formula, eng Engine, b *budget.Budget, sink trace.Sink) (out Outcome) {
+func runGuarded(p *problem.Problem, eng Engine, b *budget.Budget, sink trace.Sink) (out Outcome) {
 	if m := engineMeters[eng]; m != nil {
 		m.attempts.Add(1)
 		defer func() {
@@ -271,15 +290,15 @@ func runGuarded(f *dqbf.Formula, eng Engine, b *budget.Budget, sink trace.Sink) 
 	}()
 	switch eng {
 	case EngineHQS:
-		return runHQS(f, b, sink)
+		return runHQS(p, b, sink)
 	case EngineIDQ:
-		return runIDQ(f, b)
+		return runIDQ(p.Formula, b)
 	case EngineDefex:
-		return runDefex(f, b, sink)
+		return runDefex(p.Formula, b, sink)
 	case EngineExpand:
-		return runExpand(f, b)
+		return runExpand(p.Formula, b)
 	default:
-		return runPortfolio(f, b, sink)
+		return runPortfolio(p, b, sink)
 	}
 }
 
@@ -309,12 +328,13 @@ var certifyHQS atomic.Bool
 // (hqs -cert / hqsd -certify).
 func SetCertifyHQS(on bool) { certifyHQS.Store(on) }
 
-func runHQS(f *dqbf.Formula, b *budget.Budget, sink trace.Sink) Outcome {
+func runHQS(p *problem.Problem, b *budget.Budget, sink trace.Sink) Outcome {
+	f := p.Formula
 	opt := core.DefaultOptions()
 	opt.Budget = b
 	opt.Trace = sink
 	opt.Certify = certifyHQS.Load()
-	res := core.New(opt).Solve(f)
+	res := core.New(opt).Solve(p)
 	out := Outcome{Engine: EngineHQS}
 	switch res.Status {
 	case core.Solved:
@@ -502,6 +522,34 @@ func verifySkolem(f *dqbf.Formula, c *cert.Certificate, extractErr error) error 
 	return cert.Check(f, c)
 }
 
+// pqeMeters counts PQE queries answered and failed, the PQE analogue of the
+// per-engine counters.
+var pqeMeters struct{ queries, failures atomic.Int64 }
+
+// PQEStats returns the process-wide (queries answered, failures) totals of
+// SolvePQE.
+func PQEStats() (queries, failures int64) {
+	return pqeMeters.queries.Load(), pqeMeters.failures.Load()
+}
+
+// SolvePQE answers a partial-quantifier-elimination query under budget b
+// (nil means unlimited) with the same failure containment engine runs get:
+// a panic anywhere in the PQE engine becomes an error, never a dead caller.
+// On success the returned result's Q satisfies Q ∧ ∃X[G] ≡ ∃X[F ∧ G].
+func SolvePQE(sp *problem.PQESplit, b *budget.Budget, sink trace.Sink) (res *pqe.Result, err error) {
+	pqeMeters.queries.Add(1)
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("pqe engine panicked: %v\n%s", r, debug.Stack())
+		}
+		if err != nil {
+			pqeMeters.failures.Add(1)
+		}
+	}()
+	return pqe.Solve(sp, pqe.Options{Budget: b, Trace: sink})
+}
+
 // PortfolioArms lists the engines the portfolio races, in the order their
 // goroutines are launched.
 var PortfolioArms = []Engine{EngineHQS, EngineIDQ, EngineDefex, EngineExpand}
@@ -517,7 +565,7 @@ var PortfolioArms = []Engine{EngineHQS, EngineIDQ, EngineDefex, EngineExpand}
 // Each arm runs guarded in its own goroutine, so a panicking engine loses
 // the race instead of killing the process; the portfolio reports Error only
 // when no arm produced a verdict and at least one failed outright.
-func runPortfolio(f *dqbf.Formula, b *budget.Budget, sink trace.Sink) Outcome {
+func runPortfolio(p *problem.Problem, b *budget.Budget, sink trace.Sink) Outcome {
 	arms := PortfolioArms
 	buds := make([]*budget.Budget, len(arms))
 	ch := make(chan Outcome, len(arms))
@@ -535,7 +583,7 @@ func runPortfolio(f *dqbf.Formula, b *budget.Budget, sink trace.Sink) Outcome {
 			armSink = sink
 		}
 		go func(eng Engine, cb *budget.Budget, s trace.Sink) {
-			ch <- runGuarded(f, eng, cb, s)
+			ch <- runGuarded(p, eng, cb, s)
 		}(eng, buds[i], armSink)
 	}
 
