@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet check fuzz-smoke fuzz-native chaos chaos-store serve-smoke bench bench-sat bench-sweep baseline bench-gate bench-gate-quick bench-compare
+.PHONY: build test race vet check fuzz-smoke fuzz-native chaos chaos-store serve-smoke cluster-smoke bench bench-sat bench-sweep baseline bench-gate bench-gate-quick bench-compare
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,11 @@ vet:
 # sweep, the SAT substrate it drives, the job scheduler/portfolio and the
 # defex/expand engines racing inside it, the fault-injection plumbing they
 # share, the daemon's HTTP handlers, the certificate checker the portfolio
-# arms consult concurrently, and the ingestion/PQE layers the daemon calls
-# from its handler goroutines).
+# arms consult concurrently, the ingestion/PQE layers the daemon calls
+# from its handler goroutines, and the cluster coordinator fanning cube
+# subproblems across workers).
 race:
-	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/defex ./internal/expand ./internal/service ./internal/store ./internal/faults ./internal/leakcheck ./internal/problem ./internal/pqe ./cmd/hqsd
+	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/defex ./internal/expand ./internal/service ./internal/store ./internal/faults ./internal/leakcheck ./internal/problem ./internal/pqe ./internal/httpapi ./internal/cluster ./internal/cube ./cmd/hqsd
 
 # Differential fuzzing smoke run: 200 random instances, every solver
 # configuration against the brute-force reference, with Skolem certificate
@@ -55,13 +56,14 @@ chaos-store:
 check:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/defex ./internal/expand ./internal/service ./internal/store ./internal/faults ./internal/leakcheck ./internal/problem ./internal/pqe ./cmd/hqsd
+	$(GO) test -race ./internal/sat ./internal/aig ./internal/cert ./internal/oracle ./internal/core ./internal/defex ./internal/expand ./internal/service ./internal/store ./internal/faults ./internal/leakcheck ./internal/problem ./internal/pqe ./internal/httpapi ./internal/cluster ./internal/cube ./cmd/hqsd
 	$(GO) run ./cmd/dqbffuzz -n 200 -seed 1 -cert
 	$(GO) test ./internal/dqbf -run '^$$' -fuzz FuzzDQDIMACSReader -fuzztime 10s
 	$(GO) test ./internal/problem -run '^$$' -fuzz FuzzAIGERReader -fuzztime 10s
 	$(GO) test ./internal/aig -run '^$$' -fuzz FuzzAIGCompose -fuzztime 10s
 	$(GO) test -race -run 'TestChaos|TestDrainRace' ./internal/service
 	$(GO) test -race -run 'TestStore|TestEntry|TestSchedulerStore' ./internal/store ./internal/service
+	$(GO) test -tags smoke -run TestClusterSmoke ./cmd/hqsc
 	$(MAKE) bench-gate-quick
 
 # End-to-end service smoke tests: build hqsd, start it, solve the example
@@ -70,6 +72,13 @@ check:
 # result must be served from disk with its certificate re-verified.
 serve-smoke:
 	$(GO) test -tags smoke -run 'TestServeSmoke|TestStoreKillRecoverySmoke' -v ./cmd/hqsd
+
+# End-to-end cluster smoke: build hqsd and hqsc, start two workers under a
+# coordinator, solve the example through the cluster with a certificate,
+# SIGKILL one worker (the kill-one drill — the survivor must keep answering
+# and /stats must mark the victim unreachable), then drain gracefully.
+cluster-smoke:
+	$(GO) test -tags smoke -run TestClusterSmoke -v ./cmd/hqsc
 
 # SAT-core microbenchmarks (propagation throughput, clause arena behavior).
 bench-sat:
@@ -86,7 +95,7 @@ bench:
 # Regenerate the committed benchmark baseline on the PEC families plus the
 # BENCH-ingested adder-miter circuit family.
 baseline:
-	$(GO) run ./cmd/dqbfbench -family adder,bitcell,pec_xor,circuit -count 6 -baseline BENCH_pr9.json
+	$(GO) run ./cmd/dqbfbench -family adder,bitcell,pec_xor,circuit -count 6 -baseline BENCH_pr10.json
 
 # Newest committed baseline by PR number. `sort -V` (version sort), not make's
 # lexical $(lastword): pr10 must beat pr6.

@@ -1,0 +1,202 @@
+//go:build smoke
+
+package main
+
+// The cluster smoke test drives the real binaries end to end: build hqsd and
+// hqsc, start two workers and a coordinator over them, solve the
+// repository's example instance through the cluster with a certificate
+// attached, kill one worker with SIGKILL and solve again through the
+// survivor, then shut the coordinator down gracefully. Run it via
+// `make cluster-smoke` (tag-gated so ordinary `go test ./...` stays fast).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("reserve port: %v", err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never became healthy: %v", base, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func TestClusterSmoke(t *testing.T) {
+	dir := t.TempDir()
+	hqsd := filepath.Join(dir, "hqsd")
+	hqsc := filepath.Join(dir, "hqsc")
+	if out, err := exec.Command("go", "build", "-o", hqsd, "../hqsd").CombinedOutput(); err != nil {
+		t.Fatalf("go build hqsd: %v\n%s", err, out)
+	}
+	if out, err := exec.Command("go", "build", "-o", hqsc, ".").CombinedOutput(); err != nil {
+		t.Fatalf("go build hqsc: %v\n%s", err, out)
+	}
+
+	// Two workers behind one coordinator.
+	var workerAddrs []string
+	var workerCmds []*exec.Cmd
+	for i := 0; i < 2; i++ {
+		addr := freeAddr(t)
+		cmd := exec.Command(hqsd, "-addr", addr, "-workers", "2", "-drain-timeout", "10s")
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("start worker %d: %v", i, err)
+		}
+		defer cmd.Process.Kill()
+		workerAddrs = append(workerAddrs, "http://"+addr)
+		workerCmds = append(workerCmds, cmd)
+	}
+	for _, base := range workerAddrs {
+		waitHealthy(t, base)
+	}
+
+	coordAddr := freeAddr(t)
+	coord := exec.Command(hqsc,
+		"-addr", coordAddr,
+		"-workers", strings.Join(workerAddrs, ","),
+		"-cube-vars", "2")
+	coord.Stderr = os.Stderr
+	if err := coord.Start(); err != nil {
+		t.Fatalf("start hqsc: %v", err)
+	}
+	defer coord.Process.Kill()
+	base := "http://" + coordAddr
+	waitHealthy(t, base)
+
+	// Readiness requires at least one ready worker.
+	if resp, err := http.Get(base + "/readyz"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /readyz: %v (status %v)", err, resp)
+	} else {
+		resp.Body.Close()
+	}
+
+	instance, err := os.ReadFile("../../examples/example1.dqdimacs")
+	if err != nil {
+		t.Fatalf("read example: %v", err)
+	}
+	solve := func(query string) (service.JobInfo, string) {
+		resp, err := http.Post(base+"/solve?"+query, "text/plain", strings.NewReader(string(instance)))
+		if err != nil {
+			t.Fatalf("POST /solve: %v", err)
+		}
+		defer resp.Body.Close()
+		var reply struct {
+			service.JobInfo
+			CertSkolem string `json:"cert_skolem"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&reply); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK || reply.Outcome == nil {
+			t.Fatalf("solve: status %d, reply %+v", resp.StatusCode, reply)
+		}
+		return reply.JobInfo, reply.CertSkolem
+	}
+
+	info, certBlob := solve("engine=idq&timeout=30s&cert=1")
+	if info.Outcome.Verdict != service.VerdictSat {
+		t.Fatalf("cluster solve: %+v", info.Outcome)
+	}
+	if certBlob == "" {
+		t.Fatal("no certificate attached to the cluster SAT verdict")
+	}
+	fmt.Printf("smoke: cluster of 2 solved example1 -> %v with a %d-byte certificate\n",
+		info.Outcome.Verdict, len(certBlob))
+
+	// Kill-one drill: SIGKILL a worker; the cluster must keep answering.
+	if err := workerCmds[0].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatalf("SIGKILL worker 0: %v", err)
+	}
+	workerCmds[0].Wait()
+
+	info, _ = solve("engine=idq&timeout=30s")
+	if info.Outcome.Verdict != service.VerdictSat {
+		t.Fatalf("post-kill solve: %+v", info.Outcome)
+	}
+
+	// Merged stats must mark the dead worker unreachable and keep serving.
+	resp, err := http.Get(base + "/stats")
+	if err != nil {
+		t.Fatalf("GET /stats: %v", err)
+	}
+	var stats struct {
+		Workers []struct {
+			URL   string `json:"url"`
+			Ready bool   `json:"ready"`
+		} `json:"workers"`
+		Coordinator struct {
+			Forwards int64 `json:"forwards"`
+		} `json:"coordinator"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decode stats: %v", err)
+	}
+	resp.Body.Close()
+	if len(stats.Workers) != 2 {
+		t.Fatalf("stats cover %d workers, want 2", len(stats.Workers))
+	}
+	ready := 0
+	for _, w := range stats.Workers {
+		if w.Ready {
+			ready++
+		}
+	}
+	if ready != 1 {
+		t.Fatalf("%d workers ready after the kill, want exactly 1", ready)
+	}
+	if stats.Coordinator.Forwards == 0 {
+		t.Fatal("coordinator recorded no forwards")
+	}
+	fmt.Printf("smoke: survived kill-one drill, %d forwards total\n", stats.Coordinator.Forwards)
+
+	// Graceful coordinator shutdown.
+	if err := coord.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatalf("SIGTERM hqsc: %v", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- coord.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("hqsc exited with %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("hqsc did not shut down after SIGTERM")
+	}
+	// Drain the surviving worker too.
+	workerCmds[1].Process.Signal(syscall.SIGTERM)
+	workerCmds[1].Wait()
+}

@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/httpapi"
 	"repro/internal/service"
 	"repro/internal/store"
 )
@@ -130,12 +131,12 @@ func main() {
 		},
 		Store: st,
 	})
-	srv := newServer(sched)
-	srv.maxBody = *maxBody
-	srv.requestTimeout = *reqTimeout
+	srv := httpapi.New(sched)
+	srv.MaxBody = *maxBody
+	srv.RequestTimeout = *reqTimeout
 	httpSrv := &http.Server{
 		Addr:    *addr,
-		Handler: srv.handler(),
+		Handler: srv.Handler(),
 		// Slow-loris protection; bodies are bounded per handler instead so a
 		// large legitimate instance can still stream in.
 		ReadHeaderTimeout: 10 * time.Second,
@@ -148,7 +149,7 @@ func main() {
 		defer close(done)
 		sig := <-stop
 		log.Printf("hqsd: %v received, draining (grace %v)", sig, *drainTimeout)
-		srv.healthy.Store(false)
+		srv.SetHealthy(false)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := sched.Drain(ctx); err != nil {

@@ -1,0 +1,82 @@
+package cert
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dqbf"
+	"repro/internal/idq"
+)
+
+// TestCodecRoundTrip encodes and decodes certificates of real SAT instances
+// and asserts the decoded certificate still passes the independent checker —
+// the property the cluster coordinator relies on when it ships per-cube
+// certificates over the wire.
+func TestCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	checked := 0
+	for i := 0; i < 40 && checked < 10; i++ {
+		f := dqbf.RandomFormula(rng, 2, 4, 4)
+		res := idq.New(idq.Options{}).Solve(f)
+		if res.Status != idq.Solved || !res.Sat || res.Certificate == nil {
+			continue
+		}
+		ac, err := FromTables(f, res.Certificate)
+		if err != nil {
+			t.Fatalf("instance %d: FromTables: %v", i, err)
+		}
+		if err := Check(f, ac); err != nil {
+			t.Fatalf("instance %d: original certificate rejected: %v", i, err)
+		}
+		blob, err := Encode(ac)
+		if err != nil {
+			t.Fatalf("instance %d: Encode: %v", i, err)
+		}
+		dec, err := Decode(blob)
+		if err != nil {
+			t.Fatalf("instance %d: Decode: %v", i, err)
+		}
+		if len(dec.Funcs) != len(ac.Funcs) {
+			t.Fatalf("instance %d: decoded %d functions, want %d", i, len(dec.Funcs), len(ac.Funcs))
+		}
+		if err := Check(f, dec); err != nil {
+			t.Fatalf("instance %d: decoded certificate rejected: %v", i, err)
+		}
+		// Determinism: equal certificates encode to equal bytes.
+		blob2, err := Encode(dec)
+		if err != nil {
+			t.Fatalf("instance %d: re-encode: %v", i, err)
+		}
+		dec2, err := Decode(blob2)
+		if err != nil {
+			t.Fatalf("instance %d: re-decode: %v", i, err)
+		}
+		if err := Check(f, dec2); err != nil {
+			t.Fatalf("instance %d: re-decoded certificate rejected: %v", i, err)
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no satisfiable instance produced a certificate to round-trip")
+	}
+}
+
+// TestDecodeRejectsGarbage pins the failure modes: bad header, bad version,
+// truncated blobs, and cone/variable count mismatches must error, not panic.
+func TestDecodeRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"skolem\n",
+		"skolem 1\n",
+		"skolem 2 0\naag 0 0 0 0 0\n",
+		"skolem 1 2 3\naag 0 0 0 0 0\n",
+		"skolem 1 1 3 4\naag 0 0 0 1 0\n0\n",
+		"skolem 1 -1\n",
+		"skolem 1 1 0\naag 0 0 0 1 0\n0\n",
+		"skolem 1 0 not-an-aag\n",
+	} {
+		if _, err := Decode([]byte(bad)); err == nil {
+			t.Errorf("Decode(%q) accepted garbage", bad)
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ring is a consistent-hash ring over worker indices with virtual nodes:
+// keys map to the first vnode clockwise from their hash, and the failover
+// order of a key is the de-duplicated successor walk, so removing one worker
+// only remaps the keys it owned.
+type ring struct {
+	points []ringPoint
+	n      int
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker int
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV-1a barely diffuses short sequential keys ("…#0", "…#1", …): the
+	// vnodes of one worker land in a single clump and the ring degenerates.
+	// A splitmix64 finalizer spreads them across the whole space.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// newRing places vnodes points per worker, keyed on the worker's name so
+// the placement is stable across coordinator restarts.
+func newRing(names []string, vnodes int) *ring {
+	if vnodes <= 0 {
+		vnodes = 32
+	}
+	r := &ring{n: len(names)}
+	for i, name := range names {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:   hash64(fmt.Sprintf("%s#%d", name, v)),
+				worker: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].worker < r.points[b].worker
+	})
+	return r
+}
+
+// order returns every worker index exactly once, starting at the key's home
+// node and continuing along the ring — the coordinator's failover order.
+func (r *ring) order(key string) []int {
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]int, 0, r.n)
+	seen := make(map[int]bool, r.n)
+	for i := 0; i < len(r.points) && len(out) < r.n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.worker] {
+			seen[p.worker] = true
+			out = append(out, p.worker)
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingOrderIsDeterministicPermutation(t *testing.T) {
+	names := []string{"http://a", "http://b", "http://c"}
+	r1 := newRing(names, 32)
+	r2 := newRing(names, 32)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		o1, o2 := r1.order(key), r2.order(key)
+		if len(o1) != len(names) {
+			t.Fatalf("order(%q) = %v, want all %d workers", key, o1, len(names))
+		}
+		seen := make(map[int]bool)
+		for _, w := range o1 {
+			if w < 0 || w >= len(names) || seen[w] {
+				t.Fatalf("order(%q) = %v is not a permutation", key, o1)
+			}
+			seen[w] = true
+		}
+		for j := range o1 {
+			if o1[j] != o2[j] {
+				t.Fatalf("order(%q) differs across identical rings: %v vs %v", key, o1, o2)
+			}
+		}
+	}
+}
+
+func TestRingSpreadsKeys(t *testing.T) {
+	names := []string{"http://a", "http://b", "http://c"}
+	r := newRing(names, 32)
+	owned := make(map[int]int)
+	for i := 0; i < 300; i++ {
+		owned[r.order(fmt.Sprintf("key-%d", i))[0]]++
+	}
+	for w := range names {
+		if owned[w] == 0 {
+			t.Fatalf("worker %d owns no keys: %v", w, owned)
+		}
+	}
+}
+
+// TestRingConsistentUnderGrowth pins the consistent-hashing property: adding
+// one worker must only remap keys onto the new worker — a key that stays
+// keeps its home node, so worker caches stay warm across ring growth.
+func TestRingConsistentUnderGrowth(t *testing.T) {
+	small := newRing([]string{"http://a", "http://b", "http://c"}, 32)
+	big := newRing([]string{"http://a", "http://b", "http://c", "http://d"}, 32)
+	moved := 0
+	for i := 0; i < 300; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		before, after := small.order(key)[0], big.order(key)[0]
+		if after == 3 {
+			moved++
+			continue
+		}
+		if before != after {
+			t.Fatalf("key %q moved from worker %d to %d without involving the new worker", key, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("new worker took no keys")
+	}
+}
+
+func TestRingSingleWorkerAndDefaultVnodes(t *testing.T) {
+	r := newRing([]string{"http://a"}, 0)
+	if got := r.order("anything"); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("order = %v, want [0]", got)
+	}
+}

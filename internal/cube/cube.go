@@ -1,0 +1,229 @@
+// Package cube implements cube-and-conquer splitting for DQBF: a formula is
+// split on k universal prefix variables into 2^k cofactor subproblems that
+// the cluster coordinator fans across hqsd workers, with exact merge
+// semantics — any UNSAT cube refutes the formula, and all-SAT stitches the
+// per-cube Skolem certificates into one certificate for the original
+// formula.
+//
+// Soundness hinges on which universals may be cubed. Theorem 1 expands a
+// universal x by copying every existential that depends on x into 0- and
+// 1-branch instances; existentials NOT depending on x stay shared between
+// the branches, which couples the branches and makes independently solved
+// cofactors unsound for the SAT direction. Split therefore cubes only
+// variables in the intersection of every existential's dependency set
+// (Eligible): under such a cube every existential splits, the 2^k cofactors
+// are fully independent DQBFs, and the merged Skolem function for each
+// existential y is the ITE tree over the cube variables selecting the
+// per-cube function — whose support stays inside D_y precisely because the
+// cube variables are in D_y. Formulas with no eligible variable (including
+// the zero-universal case) yield an empty plan, telling the coordinator to
+// fall back to plain forwarding.
+package cube
+
+import (
+	"fmt"
+
+	"repro/internal/aig"
+	"repro/internal/cert"
+	"repro/internal/cnf"
+	"repro/internal/dqbf"
+	"repro/internal/trace"
+)
+
+// Cube is one cofactor subproblem.
+type Cube struct {
+	// Index encodes the cube assignment: bit i of Index is the value of
+	// Plan.Vars[i].
+	Index int
+	// Formula is the cofactored DQBF: the cube variables are substituted
+	// into the matrix and removed from the prefix and every dependency set.
+	Formula *dqbf.Formula
+}
+
+// Plan is the result of a split: the cubed variables (in prefix order) and
+// the 2^len(Vars) cofactor subproblems ordered by Index. An empty plan
+// (no cubes) means the formula was not split.
+type Plan struct {
+	Vars  []cnf.Var
+	Cubes []Cube
+}
+
+// Empty reports whether the plan carries no cubes (degrade to forwarding).
+func (p *Plan) Empty() bool { return p == nil || len(p.Cubes) == 0 }
+
+// Eligible returns the universal variables every existential depends on
+// (⋂_y D_y), in prefix order — the variables that may be cubed soundly. For
+// a formula without existentials every universal is eligible (the empty
+// intersection), matching Thm-1 expansion which then only cofactors the
+// matrix.
+func Eligible(f *dqbf.Formula) []cnf.Var {
+	var out []cnf.Var
+	for _, x := range f.Univ {
+		shared := true
+		for _, y := range f.Exist {
+			if !f.Deps[y].Has(x) {
+				shared = false
+				break
+			}
+		}
+		if shared {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Split cubes min(k, len(Eligible(f))) universal prefix variables into
+// 2^k cofactor subproblems. k ≤ 0, a formula with no eligible variable, or
+// an effective k of zero yield an empty plan. When sink is non-nil one
+// "cube.split" trace event is emitted with the split counters.
+func Split(f *dqbf.Formula, k int, sink trace.Sink) *Plan {
+	elig := Eligible(f)
+	if k > len(elig) {
+		k = len(elig)
+	}
+	plan := &Plan{}
+	if k > 0 {
+		plan.Vars = append([]cnf.Var(nil), elig[:k]...)
+		n := 1 << k
+		plan.Cubes = make([]Cube, n)
+		for c := 0; c < n; c++ {
+			plan.Cubes[c] = Cube{Index: c, Formula: cofactor(f, plan.Vars, c)}
+		}
+	}
+	if sink != nil {
+		sink.Emit(trace.Event{
+			Stage:       "cluster",
+			Pass:        "cube.split",
+			UnivBefore:  len(f.Univ),
+			UnivAfter:   len(f.Univ) - len(plan.Vars),
+			ExistBefore: len(f.Exist),
+			ExistAfter:  len(f.Exist),
+			Changed:     !plan.Empty(),
+			Counters: map[string]int64{
+				"eligible":  int64(len(elig)),
+				"cube_vars": int64(len(plan.Vars)),
+				"cubes":     int64(len(plan.Cubes)),
+			},
+		})
+	}
+	return plan
+}
+
+// cofactor builds the subproblem for one cube assignment: satisfied clauses
+// drop, false literals drop from their clauses (an emptied clause stays, as
+// the immediate contradiction), and the cube variables leave the prefix and
+// every dependency set. Variable numbering is preserved.
+func cofactor(f *dqbf.Formula, vars []cnf.Var, idx int) *dqbf.Formula {
+	assign := make(map[cnf.Var]bool, len(vars))
+	for i, v := range vars {
+		assign[v] = idx&(1<<i) != 0
+	}
+	g := dqbf.New()
+	for _, u := range f.Univ {
+		if _, cubed := assign[u]; !cubed {
+			g.AddUniversal(u)
+		}
+	}
+	for _, y := range f.Exist {
+		var deps []cnf.Var
+		for _, d := range f.Deps[y].Vars() {
+			if _, cubed := assign[d]; !cubed {
+				deps = append(deps, d)
+			}
+		}
+		g.AddExistential(y, deps...)
+	}
+	if f.Matrix.NumVars > g.Matrix.NumVars {
+		g.Matrix.NumVars = f.Matrix.NumVars
+	}
+clauses:
+	for _, c := range f.Matrix.Clauses {
+		var keep []cnf.Lit
+		for _, l := range c {
+			if val, cubed := assign[l.Var()]; cubed {
+				if val != l.Neg() {
+					continue clauses // literal true under the cube
+				}
+				continue // literal false under the cube
+			}
+			keep = append(keep, l)
+		}
+		g.Matrix.AddClause(keep...)
+	}
+	return g
+}
+
+// MergeCerts stitches the per-cube Skolem certificates into one certificate
+// for the original formula: for every existential y, the merged function is
+// the ITE tree over the cube variables selecting cube c's function on the
+// assignment c encodes. certs must parallel plan.Cubes; a nil entry's cubes
+// default every function to constant false (legal only if that cube's
+// verdict was itself certified elsewhere — callers should pass every
+// certificate). When sink is non-nil one "cube.merge" trace event is
+// emitted. The result is self-contained and passes cert.Check against the
+// original formula whenever the inputs pass it against their cofactors.
+func MergeCerts(f *dqbf.Formula, plan *Plan, certs []*cert.Certificate, sink trace.Sink) (*cert.Certificate, error) {
+	if plan.Empty() {
+		return nil, fmt.Errorf("cube: merging an empty plan")
+	}
+	if len(certs) != len(plan.Cubes) {
+		return nil, fmt.Errorf("cube: %d certificates for %d cubes", len(certs), len(plan.Cubes))
+	}
+	g := aig.New()
+	merged := &cert.Certificate{G: g, Funcs: make(map[cnf.Var]aig.Ref, len(f.Exist))}
+	memos := make([]map[int32]aig.Ref, len(certs))
+	for i := range memos {
+		memos[i] = make(map[int32]aig.Ref)
+	}
+	xs := make([]aig.Ref, len(plan.Vars))
+	for i, v := range plan.Vars {
+		xs[i] = g.Input(v)
+	}
+	for _, y := range f.Exist {
+		leaves := make([]aig.Ref, len(plan.Cubes))
+		for c, pc := range certs {
+			if pc == nil {
+				leaves[c] = aig.False
+				continue
+			}
+			fn, ok := pc.Funcs[y]
+			if !ok {
+				leaves[c] = aig.False
+				continue
+			}
+			leaves[c] = pc.G.Export(fn, g, memos[c])
+		}
+		merged.Funcs[y] = iteTree(g, xs, leaves)
+	}
+	if sink != nil {
+		sink.Emit(trace.Event{
+			Stage:       "cluster",
+			Pass:        "cube.merge",
+			NodesAfter:  g.NumNodes(),
+			UnivBefore:  len(f.Univ) - len(plan.Vars),
+			UnivAfter:   len(f.Univ),
+			ExistBefore: len(f.Exist),
+			ExistAfter:  len(f.Exist),
+			Changed:     true,
+			Counters: map[string]int64{
+				"cube_vars": int64(len(plan.Vars)),
+				"cubes":     int64(len(plan.Cubes)),
+				"functions": int64(len(merged.Funcs)),
+			},
+		})
+	}
+	return merged, nil
+}
+
+// iteTree folds 2^k leaf functions into one under the cube variables: bit i
+// of the leaf index is xs[i], so the recursion splits on the last variable.
+func iteTree(g *aig.Graph, xs []aig.Ref, leaves []aig.Ref) aig.Ref {
+	if len(xs) == 0 {
+		return leaves[0]
+	}
+	half := len(leaves) / 2
+	lo := iteTree(g, xs[:len(xs)-1], leaves[:half])
+	hi := iteTree(g, xs[:len(xs)-1], leaves[half:])
+	return g.Ite(xs[len(xs)-1], hi, lo)
+}

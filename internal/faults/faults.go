@@ -69,12 +69,17 @@ const (
 	// PQESolve fires at the entry of a partial-quantifier-elimination query
 	// (pqe.Solve) before any SAT call runs.
 	PQESolve Point = "pqe.solve"
+	// ClusterForward fires before the coordinator forwards a request to an
+	// hqsd worker; an injected error simulates a network failure that must
+	// retry on the next ring node, never lose or double-run the job.
+	ClusterForward Point = "cluster.forward"
 )
 
 // builtinPoints are the statically defined injection points.
 var builtinPoints = []Point{SATSolve, AIGSweep, AIGFinalSAT, MaxSATSolve,
 	QBFEliminate, SchedDispatch, CacheLookup, CertVerify,
-	StoreRead, StoreWrite, StoreCorrupt, ProblemParse, PQESolve}
+	StoreRead, StoreWrite, StoreCorrupt, ProblemParse, PQESolve,
+	ClusterForward}
 
 // registry holds dynamically registered points (pipeline passes register
 // one "pipeline.<pass>" point each at init time).

@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"encoding/json"
@@ -113,11 +113,11 @@ func TestReadyzAndLoadShedding(t *testing.T) {
 	}
 
 	// Shutdown begins: readiness reports draining.
-	srv.healthy.Store(false)
+	srv.SetHealthy(false)
 	if code := getJSON(t, ts.URL+"/readyz", &body); code != http.StatusServiceUnavailable || body["status"] != "draining" {
 		t.Fatalf("shutdown readyz: %d %v", code, body)
 	}
-	srv.healthy.Store(true)
+	srv.SetHealthy(true)
 
 	// Let the drain in the test cleanup finish promptly.
 	for _, id := range ids {
@@ -131,7 +131,7 @@ func TestReadyzAndLoadShedding(t *testing.T) {
 // TestBodySizeLimit: a request body over -max-body must be rejected with 413.
 func TestBodySizeLimit(t *testing.T) {
 	srv, ts := newTestServer(t, service.Config{Workers: 1})
-	srv.maxBody = 64
+	srv.MaxBody = 64
 
 	resp, err := http.Post(ts.URL+"/jobs", "text/plain", strings.NewReader(phpInstance()))
 	if err != nil {
@@ -143,7 +143,7 @@ func TestBodySizeLimit(t *testing.T) {
 	}
 
 	// At the limit boundary, small instances still parse.
-	srv.maxBody = 1 << 20
+	srv.MaxBody = 1 << 20
 	resp, err = http.Post(ts.URL+"/solve?engine=idq", "text/plain", strings.NewReader(unsatInstance))
 	if err != nil {
 		t.Fatalf("POST /solve: %v", err)
@@ -158,7 +158,7 @@ func TestBodySizeLimit(t *testing.T) {
 // per-request timeout, answer 504, and cancel the underlying job.
 func TestSolveRequestTimeout(t *testing.T) {
 	srv, ts := newTestServer(t, service.Config{Workers: 1})
-	srv.requestTimeout = 50 * time.Millisecond
+	srv.RequestTimeout = 50 * time.Millisecond
 
 	resp, err := http.Post(ts.URL+"/solve?engine=hqs", "text/plain", strings.NewReader(phpInstance()))
 	if err != nil {
@@ -177,7 +177,7 @@ func TestSolveRequestTimeout(t *testing.T) {
 // TestRecovererContainsHandlerPanics: a panic inside HTTP plumbing must
 // produce a 500 JSON error on that request, not a dropped connection.
 func TestRecovererContainsHandlerPanics(t *testing.T) {
-	srv := newServer(service.NewScheduler(service.Config{Workers: 1}))
+	srv := New(service.NewScheduler(service.Config{Workers: 1}))
 	h := srv.recoverer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
 		panic("handler bug")
 	}))

@@ -1,4 +1,33 @@
-package main
+// Package httpapi is the hqsd daemon's HTTP layer, factored out of the
+// command so the cluster coordinator and its tests can run real workers
+// in-process (httptest servers backed by real Schedulers) against the exact
+// wire surface a production hqsd exposes. The cmd/hqsd binary is a thin
+// main around this package.
+//
+// Endpoints (see cmd/hqsd for the full API documentation):
+//
+//	POST   /jobs            enqueue, 202 job snapshot
+//	GET    /jobs/{id}       job snapshot (?cert=1 attaches the Skolem blob)
+//	GET    /jobs/{id}/trace per-pass pipeline trace
+//	DELETE /jobs/{id}       cancel
+//	POST   /solve           submit and block (?cert=1 attaches the Skolem blob)
+//	POST   /pqe             synchronous partial quantifier elimination
+//	GET    /healthz         liveness
+//	GET    /readyz          readiness (draining or saturated = 503)
+//	GET    /stats           scheduler counters
+//
+// Two cluster-facing extensions over the original daemon surface:
+//
+//   - The X-Idempotency-Key request header on /jobs and /solve dedupes
+//     resubmits onto the tracked job with that key (scheduler IdemHits), so a
+//     coordinator retrying a forward after a network failure cannot
+//     double-run a job the worker had in fact accepted.
+//
+//   - The ?cert=1 query parameter on /solve and GET /jobs/{id} attaches the
+//     cert.Encode wire form of the Skolem certificate to a SAT response
+//     ("cert_skolem"), letting the coordinator stitch per-cube certificates
+//     into one merged certificate and re-check it independently.
+package httpapi
 
 import (
 	"encoding/json"
@@ -13,32 +42,46 @@ import (
 	"time"
 
 	"repro/internal/budget"
+	"repro/internal/cert"
 	"repro/internal/faults"
 	"repro/internal/problem"
 	"repro/internal/service"
 	"repro/internal/trace"
 )
 
-// server routes HTTP requests onto a service.Scheduler.
-type server struct {
+// IdempotencyHeader is the request header carrying the submit idempotency
+// key on /jobs and /solve.
+const IdempotencyHeader = "X-Idempotency-Key"
+
+// Server routes HTTP requests onto a service.Scheduler.
+type Server struct {
 	sched *service.Scheduler
 	// healthy flips to false when shutdown begins so load balancers stop
 	// routing to a draining instance before the listener closes.
 	healthy atomic.Bool
-	// maxBody bounds request bodies (problem text in any format) in bytes.
-	maxBody int64
-	// requestTimeout bounds a blocking /solve request; 0 disables the bound
+	// MaxBody bounds request bodies (problem text in any format) in bytes.
+	MaxBody int64
+	// RequestTimeout bounds a blocking /solve request; 0 disables the bound
 	// (the job's own timeout still applies).
-	requestTimeout time.Duration
+	RequestTimeout time.Duration
 }
 
-func newServer(sched *service.Scheduler) *server {
-	s := &server{sched: sched, maxBody: 64 << 20}
+// New wraps a scheduler in a Server with the default body bound.
+func New(sched *service.Scheduler) *Server {
+	s := &Server{sched: sched, MaxBody: 64 << 20}
 	s.healthy.Store(true)
 	return s
 }
 
-func (s *server) handler() http.Handler {
+// Scheduler returns the scheduler this server routes onto.
+func (s *Server) Scheduler() *service.Scheduler { return s.sched }
+
+// SetHealthy flips the health state reported by /healthz and /readyz;
+// shutdown paths set it false before draining.
+func (s *Server) SetHealthy(v bool) { s.healthy.Store(v) }
+
+// Handler builds the daemon's route table.
+func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /jobs", s.handleSubmit)
 	mux.HandleFunc("GET /jobs/{id}", s.handleJob)
@@ -56,11 +99,11 @@ func (s *server) handler() http.Handler {
 // becomes a 500 JSON error on that one request instead of a closed
 // connection. The solver cores have their own containment in the service
 // layer; this guards the HTTP plumbing itself.
-func (s *server) recoverer(next http.Handler) http.Handler {
+func (s *Server) recoverer(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		defer func() {
 			if rec := recover(); rec != nil {
-				log.Printf("hqsd: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				log.Printf("httpapi: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
 				writeJSON(w, http.StatusInternalServerError,
 					map[string]string{"error": fmt.Sprintf("internal error: %v", rec)})
 			}
@@ -81,9 +124,43 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// jobResponse is a job snapshot plus the optional certificate attachment.
+type jobResponse struct {
+	service.JobInfo
+	// CertSkolem is the cert.Encode wire form of the job's Skolem
+	// certificate, attached on ?cert=1 when the job finished SAT with a
+	// certificate in hand (certification enabled, not a memory-cache hit).
+	CertSkolem string `json:"cert_skolem,omitempty"`
+}
+
+// jobView shapes the response for one job: the plain snapshot, plus the
+// encoded Skolem certificate when the client asked for it and the job has
+// one.
+func jobView(job *service.Job, withCert bool) any {
+	info := job.Info()
+	if !withCert || info.State != service.StateDone || info.Outcome == nil ||
+		info.Outcome.Verdict != service.VerdictSat {
+		return info
+	}
+	out := job.Outcome()
+	if out.Cert == nil {
+		return info
+	}
+	blob, err := cert.Encode(out.Cert)
+	if err != nil {
+		// The verdict is still good; only the attachment failed.
+		return info
+	}
+	return jobResponse{JobInfo: info, CertSkolem: string(blob)}
+}
+
+func wantCert(r *http.Request) bool {
+	return r.URL.Query().Get("cert") == "1"
+}
+
 // parseLimits reads the engine/limit query parameters shared by /jobs,
 // /solve, and /pqe.
-func (s *server) parseLimits(w http.ResponseWriter, r *http.Request) (service.Engine, service.Limits, bool) {
+func (s *Server) parseLimits(w http.ResponseWriter, r *http.Request) (service.Engine, service.Limits, bool) {
 	q := r.URL.Query()
 	eng, err := service.ParseEngine(q.Get("engine"))
 	if err != nil {
@@ -129,8 +206,8 @@ func (s *server) parseLimits(w http.ResponseWriter, r *http.Request) (service.En
 // including the generic text/plain curl sends — falls back to content
 // sniffing, so clients can POST any supported format to any ingesting
 // endpoint without ceremony.
-func (s *server) readProblem(w http.ResponseWriter, r *http.Request) (*problem.Problem, bool) {
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+func (s *Server) readProblem(w http.ResponseWriter, r *http.Request) (*problem.Problem, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.MaxBody))
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
@@ -151,7 +228,7 @@ func (s *server) readProblem(w http.ResponseWriter, r *http.Request) (*problem.P
 
 // parseJobRequest reads a problem body (any supported format) and the
 // engine/limit query parameters shared by /jobs and /solve.
-func (s *server) parseJobRequest(w http.ResponseWriter, r *http.Request) (*problem.Problem, service.Engine, service.Limits, bool) {
+func (s *Server) parseJobRequest(w http.ResponseWriter, r *http.Request) (*problem.Problem, service.Engine, service.Limits, bool) {
 	eng, lim, ok := s.parseLimits(w, r)
 	if !ok {
 		return nil, "", service.Limits{}, false
@@ -168,12 +245,12 @@ func (s *server) parseJobRequest(w http.ResponseWriter, r *http.Request) (*probl
 	return p, eng, lim, true
 }
 
-func (s *server) submit(w http.ResponseWriter, r *http.Request) (*service.Job, bool) {
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) (*service.Job, bool) {
 	p, eng, lim, ok := s.parseJobRequest(w, r)
 	if !ok {
 		return nil, false
 	}
-	job, err := s.sched.SubmitProblem(p, eng, lim)
+	job, err := s.sched.SubmitProblemIdem(p, eng, lim, r.Header.Get(IdempotencyHeader))
 	switch {
 	case errors.Is(err, service.ErrQueueFull):
 		// Load shedding: the client should back off and retry, which is 429,
@@ -192,7 +269,7 @@ func (s *server) submit(w http.ResponseWriter, r *http.Request) (*service.Job, b
 }
 
 // handleSubmit enqueues a job and returns its snapshot without waiting.
-func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.submit(w, r)
 	if !ok {
 		return
@@ -203,24 +280,24 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 // handleSolve submits and blocks until the job finishes, the client goes
 // away (job cancelled), or the per-request timeout expires (504, job
 // cancelled) — a synchronous endpoint must not hold connections forever.
-func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.submit(w, r)
 	if !ok {
 		return
 	}
 	var timeoutCh <-chan time.Time
-	if s.requestTimeout > 0 {
-		timer := time.NewTimer(s.requestTimeout)
+	if s.RequestTimeout > 0 {
+		timer := time.NewTimer(s.RequestTimeout)
 		defer timer.Stop()
 		timeoutCh = timer.C
 	}
 	select {
 	case <-job.Done():
-		writeJSON(w, http.StatusOK, job.Info())
+		writeJSON(w, http.StatusOK, jobView(job, wantCert(r)))
 	case <-timeoutCh:
 		s.sched.Cancel(job.ID())
 		writeError(w, http.StatusGatewayTimeout,
-			fmt.Errorf("request timeout after %v; job %s cancelled", s.requestTimeout, job.ID()))
+			fmt.Errorf("request timeout after %v; job %s cancelled", s.RequestTimeout, job.ID()))
 	case <-r.Context().Done():
 		s.sched.Cancel(job.ID())
 		<-job.Done()
@@ -234,7 +311,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 // set Q (DIMACS literal arrays) with Q ∧ ∃X[G] ≡ ∃X[F ∧ G], plus the
 // canonical hash of the query and the engine's round counters. A budget
 // stop degrades to {"status": "unknown"}; internal failures are 500s.
-func (s *server) handlePQE(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handlePQE(w http.ResponseWriter, r *http.Request) {
 	_, lim, ok := s.parseLimits(w, r)
 	if !ok {
 		return
@@ -281,20 +358,20 @@ func (s *server) handlePQE(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.sched.Job(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, service.ErrNoSuchJob)
 		return
 	}
-	writeJSON(w, http.StatusOK, job.Info())
+	writeJSON(w, http.StatusOK, jobView(job, wantCert(r)))
 }
 
 // handleTrace returns the job's per-pass pipeline trace: one structured
 // event per executed pass across every engine attempt, retained with the
 // job's history entry. Events may still be arriving while the job runs;
 // dropped counts events beyond the configured retention bound.
-func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.sched.Job(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, service.ErrNoSuchJob)
@@ -311,7 +388,7 @@ func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.sched.Cancel(id); err != nil {
 		writeError(w, http.StatusNotFound, err)
@@ -322,7 +399,7 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 // handleHealthz is liveness: 200 while the process serves requests, 503 once
 // shutdown has begun. Use /readyz to decide whether to route new work here.
-func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if !s.healthy.Load() || s.sched.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 		return
@@ -333,7 +410,7 @@ func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // handleReadyz is readiness: 503 while the instance should not receive new
 // jobs — shutting down, draining, or with a full queue. Distinct from
 // /healthz so a saturated-but-healthy instance is depooled, not restarted.
-func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	switch {
 	case !s.healthy.Load() || s.sched.Draining():
 		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
@@ -344,6 +421,6 @@ func (s *server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	}
 }
 
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, s.sched.Stats())
 }

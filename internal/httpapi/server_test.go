@@ -1,4 +1,4 @@
-package main
+package httpapi
 
 import (
 	"context"
@@ -34,14 +34,14 @@ d 2 0
 2 -1 0
 `
 
-func newTestServer(t *testing.T, cfg service.Config) (*server, *httptest.Server) {
+func newTestServer(t *testing.T, cfg service.Config) (*Server, *httptest.Server) {
 	t.Helper()
 	// Registered first so its cleanup assertion runs last, after the
 	// scheduler has drained: dead workers or stuck jobs show up as leaks.
 	leakcheck.Check(t)
 	sched := service.NewScheduler(cfg)
-	srv := newServer(sched)
-	ts := httptest.NewServer(srv.handler())
+	srv := New(sched)
+	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
 		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
@@ -196,11 +196,11 @@ func TestHealthzStatsAndErrors(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusOK || h["status"] != "ok" {
 		t.Fatalf("healthz: %d %v", code, h)
 	}
-	srv.healthy.Store(false)
+	srv.SetHealthy(false)
 	if code := getJSON(t, ts.URL+"/healthz", &h); code != http.StatusServiceUnavailable {
 		t.Fatalf("draining healthz: %d", code)
 	}
-	srv.healthy.Store(true)
+	srv.SetHealthy(true)
 
 	// Malformed body and bad query parameters are 400s.
 	for _, url := range []string{

@@ -141,6 +141,9 @@ type Job struct {
 	// the owning worker and its finisher touch it (happens-before via the
 	// queue hand-off and the finish path).
 	journaled bool
+	// idemKey is the caller-supplied idempotency key ("" when none), kept so
+	// history eviction can drop the key's registration with the job.
+	idemKey string
 	// trc records the per-pass pipeline trace of every engine attempt; nil
 	// when the scheduler's TraceEvents config disables tracing.
 	trc *trace.Recorder
@@ -256,7 +259,11 @@ type Stats struct {
 	// StoreHits counts submissions answered from the persistent disk tier
 	// (certificates re-verified before serving).
 	StoreHits int64 `json:"store_hits"`
-	Rejected  int64 `json:"rejected"`
+	// IdemHits counts submissions deduplicated onto an existing job by an
+	// idempotency key — retried coordinator forwards land here instead of
+	// double-counting as submissions and completions.
+	IdemHits int64 `json:"idem_hits"`
+	Rejected int64 `json:"rejected"`
 	// HistoryEvicted counts finished jobs dropped from the bounded job
 	// history; HistoryLen is its current size.
 	HistoryEvicted int64 `json:"history_evicted"`
@@ -291,7 +298,8 @@ type Scheduler struct {
 	mu       sync.Mutex
 	queue    chan *Job
 	jobs     map[string]*Job
-	doneIDs  []string // finished jobs in completion order, for history eviction
+	idem     map[string]string // idempotency key -> job ID, for deduplicated resubmits
+	doneIDs  []string          // finished jobs in completion order, for history eviction
 	draining bool
 	nextID   int64
 
@@ -309,6 +317,7 @@ type Scheduler struct {
 	panics         atomic.Int64
 	cacheHits      atomic.Int64
 	storeHits      atomic.Int64
+	idemHits       atomic.Int64
 	rejected       atomic.Int64
 	historyEvicted atomic.Int64
 }
@@ -322,6 +331,7 @@ func NewScheduler(cfg Config) *Scheduler {
 		store: cfg.Store,
 		queue: make(chan *Job, cfg.QueueCap),
 		jobs:  make(map[string]*Job),
+		idem:  make(map[string]string),
 	}
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -350,6 +360,18 @@ func (s *Scheduler) Submit(f *dqbf.Formula, eng Engine, lim Limits) (*Job, error
 // the normalized formula: the same instance ingested as DQDIMACS and as a
 // BENCH netlist shares one cache and store entry.
 func (s *Scheduler) SubmitProblem(p *problem.Problem, eng Engine, lim Limits) (*Job, error) {
+	return s.SubmitProblemIdem(p, eng, lim, "")
+}
+
+// SubmitProblemIdem is SubmitProblem with an idempotency key: while a job
+// submitted under the same non-empty key is still tracked (queued, running,
+// or finished-but-unevicted), resubmits return that job instead of creating
+// a new one, and count as IdemHits rather than submissions. The cluster
+// coordinator keys forwarded submits on canonical hash plus attempt number,
+// so a forward retried after a network failure cannot double-run — and
+// double-count — a job the worker had in fact accepted. Keys unregister when
+// their job is evicted from history.
+func (s *Scheduler) SubmitProblemIdem(p *problem.Problem, eng Engine, lim Limits, idemKey string) (*Job, error) {
 	if eng == "" {
 		eng = s.cfg.DefaultEngine
 	}
@@ -393,6 +415,15 @@ func (s *Scheduler) SubmitProblem(p *problem.Problem, eng Engine, lim Limits) (*
 		s.rejected.Add(1)
 		return nil, ErrDraining
 	}
+	if idemKey != "" {
+		if id, ok := s.idem[idemKey]; ok {
+			if j, tracked := s.jobs[id]; tracked {
+				s.idemHits.Add(1)
+				return j, nil
+			}
+			delete(s.idem, idemKey) // job evicted underneath the key
+		}
+	}
 	s.nextID++
 	job := &Job{
 		id:        fmt.Sprintf("j%d", s.nextID),
@@ -400,6 +431,7 @@ func (s *Scheduler) SubmitProblem(p *problem.Problem, eng Engine, lim Limits) (*
 		key:       key,
 		eng:       eng,
 		bud:       budget.New(bl),
+		idemKey:   idemKey,
 		state:     StateQueued,
 		submitted: time.Now(),
 		done:      make(chan struct{}),
@@ -419,6 +451,9 @@ func (s *Scheduler) SubmitProblem(p *problem.Problem, eng Engine, lim Limits) (*
 		s.solved.Add(1)
 		job.finish(out)
 		s.remember(job)
+		if idemKey != "" {
+			s.idem[idemKey] = job.id
+		}
 		return job, nil
 	}
 
@@ -430,6 +465,9 @@ func (s *Scheduler) SubmitProblem(p *problem.Problem, eng Engine, lim Limits) (*
 	}
 	s.submitted.Add(1)
 	s.jobs[job.id] = job
+	if idemKey != "" {
+		s.idem[idemKey] = job.id
+	}
 	return job, nil
 }
 
@@ -531,6 +569,9 @@ func (s *Scheduler) remember(j *Job) {
 	s.jobs[j.id] = j
 	s.doneIDs = append(s.doneIDs, j.id)
 	for len(s.doneIDs) > s.cfg.HistorySize {
+		if old := s.jobs[s.doneIDs[0]]; old != nil && old.idemKey != "" {
+			delete(s.idem, old.idemKey)
+		}
 		delete(s.jobs, s.doneIDs[0])
 		s.doneIDs = s.doneIDs[1:]
 		s.historyEvicted.Add(1)
@@ -752,6 +793,7 @@ func (s *Scheduler) Stats() Stats {
 		Panics:         s.panics.Load(),
 		CacheHits:      s.cacheHits.Load(),
 		StoreHits:      s.storeHits.Load(),
+		IdemHits:       s.idemHits.Load(),
 		Rejected:       s.rejected.Load(),
 		HistoryEvicted: s.historyEvicted.Load(),
 		HistoryLen:     historyLen,
